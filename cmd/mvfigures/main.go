@@ -1,0 +1,136 @@
+// Command mvfigures regenerates every figure of the paper (Figures 1-7),
+// the Section 5.3 scaling study, and the Section 6 combined-mechanism
+// extension. For each study it writes a CSV of the aggregated infection
+// curves, renders the figure as a terminal chart, and evaluates the paper's
+// in-text quantitative claims.
+//
+// Usage:
+//
+//	mvfigures [-figure all|figure1|...|scaling|combined] [-reps N]
+//	          [-seed S] [-scale F] [-grid N] [-out DIR] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figureID = flag.String("figure", "all", "study to run: all, figure1..figure7, scaling, combined")
+		reps     = flag.Int("reps", 10, "replications per series")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		scale    = flag.Int("scale", 1, "population divisor (1 = paper's 1000 phones)")
+		grid     = flag.Int("grid", 200, "time-grid points per curve")
+		outDir   = flag.String("out", "results", "output directory for CSV files")
+		quiet    = flag.Bool("quiet", false, "suppress terminal charts")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	sc := experiment.Scale{Factor: *scale}
+	opts := core.Options{Replications: *reps, BaseSeed: *seed, GridPoints: *grid}
+
+	var figures []experiment.Figure
+	if *figureID == "all" {
+		figures = experiment.AllStudies(sc)
+	} else {
+		for _, f := range experiment.AllStudies(sc) {
+			if f.ID == *figureID {
+				figures = append(figures, f)
+			}
+		}
+		if len(figures) == 0 {
+			return fmt.Errorf("unknown figure %q", *figureID)
+		}
+	}
+
+	for _, fig := range figures {
+		fr, err := experiment.RunFigure(fig, opts)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, fig.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := fr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		fmt.Println(fr.Summary())
+		if !*quiet {
+			chart, err := fr.RenderASCII()
+			if err != nil {
+				return err
+			}
+			fmt.Println(chart)
+		}
+		for _, check := range claimsFor(fr) {
+			fmt.Println(check)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	return nil
+}
+
+// claimsFor evaluates the paper's claims applicable to the figure; studies
+// without claim checks return nothing.
+func claimsFor(fr *experiment.FigureResult) []experiment.Check {
+	var (
+		checks []experiment.Check
+		err    error
+	)
+	switch fr.Figure.ID {
+	case "figure2":
+		checks, err = experiment.CheckScanClaims(fr)
+	case "figure3":
+		checks, err = experiment.CheckDetectorClaims(fr)
+	case "figure4":
+		checks, err = experiment.CheckEducationClaims(fr)
+	case "figure5":
+		checks, err = experiment.CheckImmunizationClaims(fr)
+	case "figure6":
+		checks, err = experiment.CheckMonitoringClaims(fr)
+	case "figure7":
+		checks, err = experiment.CheckBlacklistClaims(fr)
+	case "neg-scan-v3":
+		checks, err = experiment.CheckScanVsVirus3(fr)
+	case "neg-monitor-slow":
+		checks, err = experiment.CheckMonitorVsSlowViruses(fr)
+	case "neg-blacklist-v2":
+		checks, err = experiment.CheckBlacklistVsVirus2(fr)
+	case "neg-blacklist-v1":
+		checks, err = experiment.CheckBlacklistVsVirus1(fr)
+	case "blacklist-equivalence":
+		checks, err = experiment.CheckBlacklistEquivalence(fr)
+	default:
+		return nil
+	}
+	if err != nil {
+		return []experiment.Check{{
+			ID:        fr.Figure.ID,
+			Statement: "claim evaluation",
+			Measured:  err.Error(),
+		}}
+	}
+	return checks
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateModels(t *testing.T) {
+	t.Parallel()
+
+	base := generateParams{
+		Model:     "powerlaw",
+		N:         150,
+		Mean:      12,
+		Exponent:  2.5,
+		Locality:  true,
+		LongRange: 0.05,
+	}
+	for _, model := range []string{"powerlaw", "ba", "er", "ws"} {
+		p := base
+		p.Model = model
+		g, err := generate(p, rng.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if g.N() != 150 {
+			t.Errorf("%s: N = %d", model, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", model, err)
+		}
+		mean := g.MeanDegree()
+		if mean < 6 || mean > 20 {
+			t.Errorf("%s: mean degree %v, want ~12", model, mean)
+		}
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	t.Parallel()
+
+	if _, err := generate(generateParams{Model: "nope", N: 10, Mean: 2}, rng.New(1)); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestGenerateTinyER(t *testing.T) {
+	t.Parallel()
+
+	if _, err := generate(generateParams{Model: "er", N: 1, Mean: 2}, rng.New(1)); err == nil {
+		t.Error("er with n=1 accepted")
+	}
+}
+
+func TestGenerateBAMinimumM(t *testing.T) {
+	t.Parallel()
+
+	// Mean 1 implies m=0, which must clamp to 1 rather than fail.
+	g, err := generate(generateParams{Model: "ba", N: 20, Mean: 1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() == 0 {
+		t.Error("BA with clamped m produced no edges")
+	}
+}

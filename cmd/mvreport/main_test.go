@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func TestWriteReportScaled(t *testing.T) {
+	t.Parallel()
+
+	var sb strings.Builder
+	sc := experiment.Scale{Factor: 10}
+	opts := core.Options{Replications: 2, GridPoints: 20}
+	if err := writeReport(&sb, sc, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"Figure 1", "Figure 7",
+		"claim checks passed",
+		"| Series | Final infected (mean) |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every claim-bearing study must contribute check lines.
+	if strings.Count(out, "- **") < 15 {
+		t.Errorf("report has too few claim lines:\n%s", out)
+	}
+}
+
+func TestClaimEvaluatorsMatchStudies(t *testing.T) {
+	t.Parallel()
+
+	ids := make(map[string]bool)
+	for _, fig := range experiment.AllStudies(experiment.Scale{Factor: 10}) {
+		ids[fig.ID] = true
+	}
+	for id := range claimEvaluators {
+		if !ids[id] {
+			t.Errorf("claim evaluator registered for unknown study %q", id)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command mvsim runs one mobile-phone virus scenario — one of the paper's
+// four viruses, optionally under response mechanisms — and prints the
+// aggregated infection curve as CSV (and optionally a terminal chart).
+//
+// Usage:
+//
+//	mvsim -virus 3 -monitor 15m -hours 24 -reps 10
+//	mvsim -virus 1 -scan 6h
+//	mvsim -virus 2 -detector 0.95
+//	mvsim -virus 4 -immunize 24h,6h -education 0.2 -chart
+//	mvsim -virus 3 -blacklist 10
+//
+// Response flags compose: passing several attaches them all to the same
+// run (the paper's future-work combination study).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/trace"
+	"repro/internal/virus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		virusNum   = flag.Int("virus", 1, "virus scenario (1-4)")
+		hours      = flag.Float64("hours", 0, "simulation horizon in hours (0 = paper default per virus)")
+		reps       = flag.Int("reps", 10, "replications")
+		seed       = flag.Uint64("seed", 1, "base random seed")
+		population = flag.Int("population", 1000, "number of phones")
+		grid       = flag.Int("grid", 100, "time-grid points")
+		chart      = flag.Bool("chart", false, "render a terminal chart")
+		scan       = flag.Duration("scan", 0, "gateway scan activation delay (e.g. 6h; 0 = off)")
+		detector   = flag.Float64("detector", 0, "gateway detector accuracy in (0,1] (0 = off)")
+		education  = flag.Float64("education", 0, "user-education eventual acceptance in (0,1) (0 = off)")
+		immunize   = flag.String("immunize", "", "immunization as dev,deploy durations (e.g. 24h,6h)")
+		monitor    = flag.Duration("monitor", 0, "monitoring forced wait (e.g. 15m; 0 = off)")
+		blacklist  = flag.Int("blacklist", 0, "blacklist threshold in messages (0 = off)")
+		tracePath  = flag.String("trace", "", "write a JSONL event trace of one replication to this file")
+		loss       = flag.Float64("loss", 0, "carrier congestion loss probability per copy in [0,1)")
+	)
+	flag.Parse()
+
+	if *virusNum < 1 || *virusNum > 4 {
+		return fmt.Errorf("virus %d outside 1-4", *virusNum)
+	}
+	cfg := core.Default(virus.Scenarios()[*virusNum-1])
+	cfg.Population = *population
+	cfg.Network.DeliveryLossProb = *loss
+	if *hours > 0 {
+		cfg.Horizon = time.Duration(*hours * float64(time.Hour))
+	}
+
+	var labels []string
+	addResponse := func(label string, f mms.ResponseFactory) {
+		cfg.Responses = append(cfg.Responses, f)
+		labels = append(labels, label)
+	}
+	if *scan > 0 {
+		addResponse(fmt.Sprintf("scan(%v)", *scan), response.NewScan(*scan))
+	}
+	if *detector > 0 {
+		addResponse(fmt.Sprintf("detector(%.2f)", *detector),
+			response.NewDetector(*detector, response.DefaultAnalysisDelay))
+	}
+	if *education > 0 {
+		addResponse(fmt.Sprintf("education(%.2f)", *education), response.NewEducation(*education))
+	}
+	if *immunize != "" {
+		dev, deploy, err := parseImmunize(*immunize)
+		if err != nil {
+			return err
+		}
+		addResponse(fmt.Sprintf("immunize(%v,%v)", dev, deploy), response.NewImmunizer(dev, deploy))
+	}
+	if *monitor > 0 {
+		addResponse(fmt.Sprintf("monitor(%v)", *monitor), response.NewMonitor(*monitor))
+	}
+	if *blacklist > 0 {
+		addResponse(fmt.Sprintf("blacklist(%d)", *blacklist), response.NewBlacklist(*blacklist))
+	}
+
+	label := cfg.Virus.Name
+	if len(labels) > 0 {
+		label += " + " + strings.Join(labels, " + ")
+	}
+	fig := experiment.Figure{
+		ID:     "mvsim",
+		Title:  label,
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+		Series: []experiment.Series{{Label: label, Config: cfg}},
+	}
+	fr, err := experiment.RunFigure(fig, core.Options{
+		Replications: *reps,
+		BaseSeed:     *seed,
+		GridPoints:   *grid,
+	})
+	if err != nil {
+		return err
+	}
+	if *chart {
+		rendered, err := fr.RenderASCII()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rendered)
+	}
+	if err := fr.WriteCSV(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, fr.Summary())
+	if *tracePath != "" {
+		if err := writeTrace(cfg, *seed, *tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote event trace to %s\n", *tracePath)
+	}
+	return nil
+}
+
+// writeTrace re-runs one replication with a trace recorder attached and
+// writes the event log as JSON Lines.
+func writeTrace(cfg core.Config, seed uint64, path string) error {
+	rec := trace.NewRecorder(1 << 20)
+	traced := cfg
+	traced.Responses = append(append([]mms.ResponseFactory(nil), cfg.Responses...),
+		func() mms.Response { return rec })
+	if _, err := core.RunOnce(traced, seed); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if rec.Truncated() {
+		fmt.Fprintln(os.Stderr, "trace truncated at 1M events")
+	}
+	return rec.WriteJSONL(f)
+}
+
+func parseImmunize(s string) (dev, deploy time.Duration, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("immunize wants dev,deploy (e.g. 24h,6h), got %q", s)
+	}
+	dev, err = time.ParseDuration(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("immunize development time: %w", err)
+	}
+	deploy, err = time.ParseDuration(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("immunize deployment window: %w", err)
+	}
+	return dev, deploy, nil
+}

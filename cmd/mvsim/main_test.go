@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseImmunize(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		in        string
+		dev, depl time.Duration
+		wantErr   bool
+	}{
+		{"24h,6h", 24 * time.Hour, 6 * time.Hour, false},
+		{"48h,1h", 48 * time.Hour, time.Hour, false},
+		{"24h", 0, 0, true},
+		{"24h,6h,1h", 0, 0, true},
+		{"x,6h", 0, 0, true},
+		{"24h,y", 0, 0, true},
+		{"", 0, 0, true},
+	}
+	for _, tt := range tests {
+		dev, depl, err := parseImmunize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseImmunize(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && (dev != tt.dev || depl != tt.depl) {
+			t.Errorf("parseImmunize(%q) = %v, %v; want %v, %v", tt.in, dev, depl, tt.dev, tt.depl)
+		}
+	}
+}

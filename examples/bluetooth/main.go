@@ -1,0 +1,66 @@
+// Bluetooth extension: the paper's Section 6 proposes evaluating response
+// mechanisms for viruses that spread over the Bluetooth interface instead
+// of MMS. This example runs the proximity-spread model (random-waypoint
+// mobility, radio-range encounters, the same AF/2^n consent model) at
+// three crowd densities and contrasts the infrastructure-free dynamics with
+// MMS spread.
+//
+//	go run ./examples/bluetooth
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/proximity"
+)
+
+func main() {
+	densities := []struct {
+		name  string
+		arena float64
+	}{
+		{"dense plaza (200 phones / 250m square)", 250},
+		{"city block (200 phones / 500m square)", 500},
+		{"suburb (200 phones / 1500m square)", 1500},
+	}
+
+	fmt.Println("Bluetooth virus spread under random-waypoint mobility, 48h horizon")
+	fmt.Println("(consent model identical to the MMS study: P(accept n-th) = 0.468/2^n)")
+	fmt.Println()
+	fmt.Printf("%-42s %10s %12s %12s\n", "scenario", "infected", "encounters", "transfers")
+	for _, d := range densities {
+		cfg := proximity.DefaultConfig()
+		cfg.ArenaSize = d.arena
+		totalInfected, totalEnc, totalXfer := 0.0, 0.0, 0.0
+		const reps = 5
+		for seed := uint64(1); seed <= reps; seed++ {
+			res, err := proximity.Run(cfg, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalInfected += float64(res.FinalInfected)
+			totalEnc += float64(res.Encounters)
+			totalXfer += float64(res.Transfers)
+		}
+		fmt.Printf("%-42s %10.1f %12.0f %12.0f\n",
+			d.name, totalInfected/reps, totalEnc/reps, totalXfer/reps)
+	}
+
+	fmt.Println()
+	cfg := proximity.DefaultConfig()
+	cfg.ArenaSize = 250
+	res, err := proximity.Run(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dense-plaza infection curve (single replication):")
+	for _, h := range []int{0, 6, 12, 24, 36, 48} {
+		fmt.Printf("  t=%2dh infected=%3.0f\n", h, res.Infections.At(time.Duration(h)*time.Hour))
+	}
+	fmt.Println()
+	fmt.Println("Unlike MMS spread, Bluetooth propagation has no gateway to filter and no")
+	fmt.Println("provider-side counters to monitor: population density replaces the contact")
+	fmt.Println("graph, and only device-side defenses (education, patching) apply.")
+}

@@ -1,0 +1,61 @@
+// Education campaign: how much is user education worth? This example sweeps
+// the eventual acceptance probability achieved by an education campaign
+// (the paper studies 0.40 -> 0.20 -> 0.10) across all four viruses and
+// shows the linear relationship between acceptance and final infections,
+// plus the acceptance-factor solver at work.
+//
+//	go run ./examples/educationcampaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/virus"
+)
+
+func main() {
+	acceptances := []float64{0.40, 0.30, 0.20, 0.10, 0.05}
+
+	fmt.Println("Consent model: P(accept n-th infected message) = AF / 2^n")
+	fmt.Println()
+	fmt.Printf("%10s %18s\n", "target", "acceptance factor")
+	for _, a := range acceptances {
+		af, err := mms.SolveAcceptanceFactor(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.2f %18.4f\n", a, af)
+	}
+	fmt.Println()
+	fmt.Println("(the paper's baseline AF = 0.468 gives eventual acceptance ~0.40)")
+	fmt.Println()
+
+	fmt.Printf("%-10s", "virus")
+	for _, a := range acceptances {
+		fmt.Printf("  acc=%.2f", a)
+	}
+	fmt.Println()
+	for _, v := range virus.Scenarios() {
+		fmt.Printf("%-10s", v.Name)
+		for _, a := range acceptances {
+			cfg := core.Default(v)
+			if a != 0.40 {
+				cfg.Responses = []mms.ResponseFactory{response.NewEducation(a)}
+			}
+			rs, err := core.Run(cfg, core.Options{Replications: 6, GridPoints: 50})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %7.1f", rs.FinalMean())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Final infections scale linearly with the eventual acceptance probability")
+	fmt.Println("(800 susceptible x acceptance), the paper's Figure 4 finding: education")
+	fmt.Println("is the one mechanism that works uniformly against every virus.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate the paper's Virus 1 baseline on the standard
+// 1,000-phone population and print the infection curve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/virus"
+)
+
+func main() {
+	// core.Default gives the paper's setup: 1,000 phones, 800 susceptible,
+	// power-law contact lists with mean size 80, one seed infection, and
+	// the scenario's observation window (18 days for Virus 1).
+	cfg := core.Default(virus.Virus1())
+
+	// Run 10 independent replications in parallel and aggregate.
+	rs, err := core.Run(cfg, core.Options{Replications: 10, GridPoints: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s baseline on %d phones (%d susceptible)\n",
+		cfg.Virus.Name, cfg.Population, int(cfg.SusceptibleFraction*float64(cfg.Population)))
+	fmt.Println("hours  mean infected  95% CI half-width")
+	for i, t := range rs.Band.Times {
+		fmt.Printf("%5.0f  %13.1f  %8.1f\n", t.Hours(), rs.Band.Mean[i], rs.Band.CI95[i])
+	}
+	fmt.Printf("\nfinal mean: %.1f infected (theory: 800 x 0.40 = 320 plateau)\n", rs.FinalMean())
+
+	half, ok := rs.Band.TimeToReachMean(rs.FinalMean() / 2)
+	if ok {
+		fmt.Printf("half of the plateau reached after %v\n", half)
+	}
+}

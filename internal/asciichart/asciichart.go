@@ -1,0 +1,120 @@
+// Package asciichart renders multi-series line charts as plain text, used
+// by cmd/mvfigures and the examples to display the reproduced paper figures
+// directly in the terminal.
+package asciichart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on the chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X []float64
+	Y []float64
+}
+
+// Config controls chart geometry and labels.
+type Config struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plot-area dimensions in characters
+	// (default 72x20).
+	Width, Height int
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// YMax forces the y-axis maximum; zero means auto-scale.
+	YMax float64
+}
+
+// seriesGlyphs assigns one glyph per series, cycling if exhausted.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to a string.
+func Render(cfg Config, series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("asciichart: no series")
+	}
+	width := cfg.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	var xMin, xMax, yMax float64
+	xMin = math.Inf(1)
+	xMax = math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciichart: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return "", errors.New("asciichart: all series empty")
+	}
+	if cfg.YMax > 0 {
+		yMax = cfg.YMax
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			row := height - 1 - int(s.Y[i]/yMax*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.YLabel)
+	}
+	axisLabelW := 8
+	for r, row := range grid {
+		// Y-axis tick labels at the top, middle, and bottom rows.
+		yVal := yMax * float64(height-1-r) / float64(height-1)
+		switch r {
+		case 0, height / 2, height - 1:
+			fmt.Fprintf(&b, "%*.0f |%s\n", axisLabelW-2, yVal, string(row))
+		default:
+			fmt.Fprintf(&b, "%*s |%s\n", axisLabelW-2, "", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", axisLabelW-2, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*.0f%*.0f\n", axisLabelW-2, "", width/2, xMin, width/2, xMax)
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  %s\n", axisLabelW-2, "", cfg.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "   %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String(), nil
+}

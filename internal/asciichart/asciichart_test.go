@@ -1,0 +1,94 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	t.Parallel()
+
+	out, err := Render(Config{Title: "Test Chart", XLabel: "Hours", YLabel: "Count"},
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Test Chart", "Hours", "Count", "* a", "o b", "10 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs not plotted")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Render(Config{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "empty"}); err == nil {
+		t.Error("all-empty series accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	t.Parallel()
+
+	// Single point, zero ranges: must not panic or divide by zero.
+	out, err := Render(Config{},
+		Series{Name: "pt", X: []float64{5}, Y: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderForcedYMax(t *testing.T) {
+	t.Parallel()
+
+	out, err := Render(Config{YMax: 350},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 320}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "350 |") {
+		t.Errorf("forced y max not used:\n%s", out)
+	}
+}
+
+func TestRenderManySeriesGlyphCycle(t *testing.T) {
+	t.Parallel()
+
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}
+	}
+	if _, err := Render(Config{}, series...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderCustomGeometry(t *testing.T) {
+	t.Parallel()
+
+	out, err := Render(Config{Width: 20, Height: 5},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend = 8.
+	if len(lines) != 8 {
+		t.Errorf("got %d lines, want 8:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,338 @@
+// Package core assembles the full virus-propagation study: it builds the
+// phone population over a generated contact graph, attaches a virus
+// scenario and any response mechanisms, runs replicated discrete-event
+// simulations in parallel with independent random streams, and aggregates
+// infection curves with confidence intervals.
+//
+// This is the paper's primary contribution — the parameterized model whose
+// outputs are Figures 1–7 — expressed as a reusable Go API on top of the
+// substrates in internal/{rng,des,graph,mms,virus,response}.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/des"
+	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// Config describes one experiment scenario: population, topology, virus,
+// network/user parameters, response mechanisms, and horizon.
+type Config struct {
+	// Population is the number of phones (paper: 1,000).
+	Population int
+	// SusceptibleFraction is the vulnerable share (paper: 0.8).
+	SusceptibleFraction float64
+	// Graph configures the contact-list topology. Its N is overridden by
+	// Population.
+	Graph graph.PowerLawConfig
+	// GraphBuilder, if non-nil, replaces the power-law generator (used for
+	// topology-sensitivity studies). It must return a graph with
+	// Population nodes.
+	GraphBuilder func(src *rng.Source) (*graph.Graph, error)
+	// Virus selects the virus scenario.
+	Virus virus.Config
+	// Network holds delivery/read timing and the consent model.
+	Network mms.Config
+	// Responses are the mechanism factories to attach (empty = baseline).
+	Responses []mms.ResponseFactory
+	// InitialInfected seeds this many distinct susceptible phones
+	// (paper: 1).
+	InitialInfected int
+	// Horizon is the simulated duration.
+	Horizon time.Duration
+	// PostRun, if non-nil, is invoked after the horizon with the live
+	// network, for measurements beyond Result's standard fields (e.g.
+	// cross-referencing mechanism state with infection state). It may be
+	// called concurrently from parallel replications and must synchronize
+	// any shared state it touches.
+	PostRun func(net *mms.Network)
+}
+
+// Default returns the paper's standard configuration for the given virus:
+// 1,000 phones, 800 susceptible, power-law contact lists with mean size 80,
+// one seed infection, and the calibrated network timing defaults.
+func Default(v virus.Config) Config {
+	return Config{
+		Population:          1000,
+		SusceptibleFraction: 0.8,
+		Graph:               graph.DefaultPowerLawConfig(),
+		Virus:               v,
+		Network:             mms.DefaultConfig(),
+		InitialInfected:     1,
+		Horizon:             horizonFor(v),
+	}
+}
+
+// horizonFor returns the paper's observation window per scenario: 18 days
+// for Viruses 1 and 4, 10 days for Virus 2, 24 hours for Virus 3.
+func horizonFor(v virus.Config) time.Duration {
+	switch v.Name {
+	case "Virus 2":
+		return 240 * time.Hour
+	case "Virus 3":
+		return 24 * time.Hour
+	default:
+		return 432 * time.Hour
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Population < 2:
+		return errors.New("core: population must be at least 2")
+	case c.SusceptibleFraction <= 0 || c.SusceptibleFraction > 1:
+		return fmt.Errorf("core: susceptible fraction %v outside (0,1]", c.SusceptibleFraction)
+	case c.InitialInfected < 1:
+		return errors.New("core: need at least one initial infection")
+	case c.Horizon <= 0:
+		return errors.New("core: horizon must be positive")
+	}
+	if float64(c.InitialInfected) > c.SusceptibleFraction*float64(c.Population) {
+		return fmt.Errorf("core: %d seeds exceed the susceptible population", c.InitialInfected)
+	}
+	if err := c.Virus.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result is the outcome of a single replication.
+type Result struct {
+	// Infections is the infected-count step curve over [0, Horizon].
+	Infections *curve.Curve
+	// FinalInfected is the infected count at the horizon.
+	FinalInfected int
+	// PeakInfected equals FinalInfected for this non-recovering model but
+	// is reported separately for forward compatibility.
+	PeakInfected int
+	// Network are the network counters at the horizon.
+	Network mms.Metrics
+	// Engine are the virus-engine counters at the horizon.
+	Engine virus.Stats
+	// GatewayDetectedAt is when the provider detected the virus (valid
+	// when GatewayDetected).
+	GatewayDetectedAt time.Duration
+	// GatewayDetected reports whether detection occurred.
+	GatewayDetected bool
+	// Tree is the who-infected-whom transmission tree at the horizon.
+	Tree mms.InfectionTree
+}
+
+// RunOnce executes one replication of the scenario with the given seed.
+func RunOnce(cfg Config, seed uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	graphSrc := root.Stream(1)
+	maskSrc := root.Stream(2)
+	netSrc := root.Stream(3)
+	virusSrc := root.Stream(4)
+	respSrcBase := root.Stream(5)
+	seedSrc := root.Stream(6)
+
+	g, err := buildGraph(cfg, graphSrc)
+	if err != nil {
+		return nil, err
+	}
+	if g.N() != cfg.Population {
+		return nil, fmt.Errorf("core: graph has %d nodes, config wants %d", g.N(), cfg.Population)
+	}
+
+	vulnerable := vulnerabilityMask(cfg, maskSrc)
+
+	sim := des.New()
+	net, err := mms.New(g, vulnerable, cfg.Network, sim, netSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	infections := curve.New(0)
+	count := 0
+	net.OnInfection(func(_ mms.PhoneID, at time.Duration) {
+		count++
+		// Infection times are non-decreasing within a run.
+		_ = infections.Append(at, float64(count))
+	})
+
+	eng, err := virus.Attach(cfg.Virus, net, virusSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, f := range cfg.Responses {
+		if f == nil {
+			return nil, fmt.Errorf("core: response factory %d is nil", i)
+		}
+		r := f()
+		if err := r.Attach(net, respSrcBase.Stream(uint64(i))); err != nil {
+			return nil, fmt.Errorf("core: attach %s: %w", r.Name(), err)
+		}
+	}
+
+	if err := seedInfections(cfg, net, vulnerable, seedSrc); err != nil {
+		return nil, err
+	}
+
+	sim.RunUntil(cfg.Horizon)
+
+	if cfg.PostRun != nil {
+		cfg.PostRun(net)
+	}
+
+	res := &Result{
+		Infections:    infections,
+		FinalInfected: net.InfectedCount(),
+		PeakInfected:  net.InfectedCount(),
+		Network:       net.Metrics(),
+		Engine:        eng.Stats(),
+		Tree:          net.BuildInfectionTree(),
+	}
+	res.GatewayDetectedAt, res.GatewayDetected = net.Gateway().Detected()
+	return res, nil
+}
+
+func buildGraph(cfg Config, src *rng.Source) (*graph.Graph, error) {
+	if cfg.GraphBuilder != nil {
+		return cfg.GraphBuilder(src)
+	}
+	gc := cfg.Graph
+	gc.N = cfg.Population
+	return graph.PowerLaw(gc, src)
+}
+
+// vulnerabilityMask randomly designates the susceptible share, mirroring the
+// paper's random choice of 800 of 1,000 phones.
+func vulnerabilityMask(cfg Config, src *rng.Source) []bool {
+	n := cfg.Population
+	k := int(cfg.SusceptibleFraction*float64(n) + 0.5)
+	mask := make([]bool, n)
+	perm := src.Perm(n)
+	for i := 0; i < k && i < n; i++ {
+		mask[perm[i]] = true
+	}
+	return mask
+}
+
+func seedInfections(cfg Config, net *mms.Network, vulnerable []bool, src *rng.Source) error {
+	candidates := make([]mms.PhoneID, 0, len(vulnerable))
+	for i, v := range vulnerable {
+		if v {
+			candidates = append(candidates, mms.PhoneID(i))
+		}
+	}
+	src.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	for i := 0; i < cfg.InitialInfected; i++ {
+		if err := net.SeedInfection(candidates[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSet is the aggregate of several replications of one scenario.
+type RunSet struct {
+	// Config echoes the scenario.
+	Config Config
+	// Results holds the per-replication outcomes in seed order.
+	Results []*Result
+	// Band is the cross-replication infection curve sampled on a uniform
+	// grid over [0, Horizon].
+	Band *curve.Band
+}
+
+// FinalMean returns the mean final infected count across replications.
+func (rs *RunSet) FinalMean() float64 {
+	if len(rs.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs.Results {
+		sum += float64(r.FinalInfected)
+	}
+	return sum / float64(len(rs.Results))
+}
+
+// Options tunes a replicated run.
+type Options struct {
+	// Replications is the number of independent runs (default 10).
+	Replications int
+	// BaseSeed derives per-replication seeds (default 1).
+	BaseSeed uint64
+	// GridPoints is the number of sampling intervals for the aggregated
+	// band (default 200).
+	GridPoints int
+	// Parallelism caps concurrent replications (default GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications <= 0 {
+		o.Replications = 10
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.GridPoints <= 0 {
+		o.GridPoints = 200
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Run executes opts.Replications independent replications of cfg in
+// parallel and aggregates their infection curves.
+func Run(cfg Config, opts Options) (*RunSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	results := make([]*Result, opts.Replications)
+	errs := make([]error, opts.Replications)
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Replications; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Replication seeds are spread with a large odd stride so
+			// neighboring replications do not share splitmix trajectories.
+			seed := opts.BaseSeed + uint64(i)*0x9e3779b97f4a7c15
+			results[i], errs[i] = RunOnce(cfg, seed)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: replication %d: %w", i, err)
+		}
+	}
+
+	curves := make([]*curve.Curve, len(results))
+	for i, r := range results {
+		curves[i] = r.Infections
+	}
+	band, err := curve.Aggregate(curves, cfg.Horizon, opts.GridPoints)
+	if err != nil {
+		return nil, err
+	}
+	return &RunSet{Config: cfg, Results: results, Band: band}, nil
+}

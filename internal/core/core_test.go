@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// smallConfig returns a scaled-down paper scenario that runs in
+// milliseconds: 120 phones, mean degree 12.
+func smallConfig(v virus.Config) Config {
+	cfg := Default(v)
+	cfg.Population = 120
+	cfg.Graph.MeanDegree = 12
+	cfg.Horizon = 48 * time.Hour
+	return cfg
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	t.Parallel()
+
+	cfg := Default(virus.Virus1())
+	if cfg.Population != 1000 {
+		t.Errorf("population = %d, want 1000", cfg.Population)
+	}
+	if cfg.SusceptibleFraction != 0.8 {
+		t.Errorf("susceptible fraction = %v, want 0.8", cfg.SusceptibleFraction)
+	}
+	if cfg.Graph.MeanDegree != 80 {
+		t.Errorf("mean contact-list size = %v, want 80", cfg.Graph.MeanDegree)
+	}
+	if cfg.InitialInfected != 1 {
+		t.Errorf("initial infected = %d, want 1", cfg.InitialInfected)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestHorizons(t *testing.T) {
+	t.Parallel()
+
+	if h := Default(virus.Virus1()).Horizon; h != 432*time.Hour {
+		t.Errorf("Virus 1 horizon = %v, want 432h", h)
+	}
+	if h := Default(virus.Virus2()).Horizon; h != 240*time.Hour {
+		t.Errorf("Virus 2 horizon = %v, want 240h", h)
+	}
+	if h := Default(virus.Virus3()).Horizon; h != 24*time.Hour {
+		t.Errorf("Virus 3 horizon = %v, want 24h", h)
+	}
+	if h := Default(virus.Virus4()).Horizon; h != 432*time.Hour {
+		t.Errorf("Virus 4 horizon = %v, want 432h", h)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tiny population", func(c *Config) { c.Population = 1 }},
+		{"zero susceptible", func(c *Config) { c.SusceptibleFraction = 0 }},
+		{"fraction above one", func(c *Config) { c.SusceptibleFraction = 1.5 }},
+		{"no seeds", func(c *Config) { c.InitialInfected = 0 }},
+		{"too many seeds", func(c *Config) { c.InitialInfected = 1000 }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"bad virus", func(c *Config) { c.Virus = virus.Config{} }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(virus.Virus3())
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunOnceBasics(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	res, err := RunOnce(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalInfected < 1 {
+		t.Error("no infections recorded")
+	}
+	if !res.Infections.Monotone() {
+		t.Error("infection curve not monotone")
+	}
+	if got := res.Infections.Final(); got != float64(res.FinalInfected) {
+		t.Errorf("curve final %v != FinalInfected %d", got, res.FinalInfected)
+	}
+	if res.Network.MessagesSent == 0 {
+		t.Error("no messages sent")
+	}
+	// The susceptible pool bounds the infection count.
+	maxSusceptible := int(cfg.SusceptibleFraction*float64(cfg.Population) + 0.5)
+	if res.FinalInfected > maxSusceptible {
+		t.Errorf("infected %d exceeds susceptible pool %d", res.FinalInfected, maxSusceptible)
+	}
+}
+
+func TestRunOnceDeterministic(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	a, err := RunOnce(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnce(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalInfected != b.FinalInfected {
+		t.Errorf("same seed, different outcomes: %d vs %d", a.FinalInfected, b.FinalInfected)
+	}
+	if a.Network.MessagesSent != b.Network.MessagesSent {
+		t.Errorf("message counts diverged: %d vs %d", a.Network.MessagesSent, b.Network.MessagesSent)
+	}
+	c, err := RunOnce(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalInfected == c.FinalInfected && a.Network.MessagesSent == c.Network.MessagesSent {
+		t.Log("different seeds produced identical results (possible but unlikely)")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	rs, err := Run(cfg, Options{Replications: 4, GridPoints: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs.Results))
+	}
+	if rs.Band.Len() != 21 {
+		t.Errorf("band has %d points, want 21", rs.Band.Len())
+	}
+	if rs.FinalMean() < 1 {
+		t.Error("mean final infections below 1")
+	}
+	// Band mean must be non-decreasing for cumulative infections.
+	for i := 1; i < rs.Band.Len(); i++ {
+		if rs.Band.Mean[i] < rs.Band.Mean[i-1] {
+			t.Fatalf("band mean decreases at %d: %v -> %v", i, rs.Band.Mean[i-1], rs.Band.Mean[i])
+		}
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	par, err := Run(cfg, Options{Replications: 4, GridPoints: 10, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Run(cfg, Options{Replications: 4, GridPoints: 10, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Results {
+		if par.Results[i].FinalInfected != ser.Results[i].FinalInfected {
+			t.Errorf("replication %d differs between parallel and serial: %d vs %d",
+				i, par.Results[i].FinalInfected, ser.Results[i].FinalInfected)
+		}
+	}
+}
+
+func TestRunNilResponseFactoryRejected(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.Responses = []mms.ResponseFactory{nil}
+	if _, err := RunOnce(cfg, 1); err == nil {
+		t.Error("nil response factory accepted")
+	}
+}
+
+func TestGraphBuilderOverride(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) {
+		return graph.ErdosRenyi(cfg.Population, 0.1, src)
+	}
+	res, err := RunOnce(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalInfected < 1 {
+		t.Error("no infections on custom topology")
+	}
+
+	// A builder returning the wrong size must be rejected.
+	cfg.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) {
+		return graph.ErdosRenyi(10, 0.1, src)
+	}
+	if _, err := RunOnce(cfg, 5); err == nil {
+		t.Error("wrong-size graph accepted")
+	}
+
+	// Builder errors propagate.
+	boom := errors.New("boom")
+	cfg.GraphBuilder = func(*rng.Source) (*graph.Graph, error) { return nil, boom }
+	if _, err := RunOnce(cfg, 5); !errors.Is(err, boom) {
+		t.Errorf("builder error not propagated: %v", err)
+	}
+}
+
+func TestVulnerabilityFractionApplied(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.SusceptibleFraction = 0.5
+	cfg.Horizon = time.Hour
+	res, err := RunOnce(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalInfected > 60 {
+		t.Errorf("infected %d exceeds 50%% susceptible pool of 60", res.FinalInfected)
+	}
+}
+
+func TestMultipleSeeds(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.InitialInfected = 5
+	cfg.Horizon = time.Minute
+	res, err := RunOnce(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalInfected < 5 {
+		t.Errorf("initial infections %d, want >= 5", res.FinalInfected)
+	}
+	if got := res.Infections.At(0); got != 5 {
+		t.Errorf("curve at t=0 is %v, want 5", got)
+	}
+}
+
+func TestGatewayDetectionReported(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	res, err := RunOnce(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GatewayDetected {
+		t.Fatal("virus never detected by gateway")
+	}
+	if res.GatewayDetectedAt <= 0 || res.GatewayDetectedAt > cfg.Horizon {
+		t.Errorf("detection time %v outside run", res.GatewayDetectedAt)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	t.Parallel()
+
+	o := Options{}.withDefaults()
+	if o.Replications != 10 || o.BaseSeed != 1 || o.GridPoints != 200 || o.Parallelism < 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,54 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndFire measures raw event throughput: schedule and
+// execute batches of 1,000 no-op events.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	noop := func(*Simulation) {}
+	for i := 0; i < b.N; i++ {
+		sim := New()
+		for j := 0; j < 1000; j++ {
+			if _, err := sim.ScheduleAt(time.Duration(j)*time.Millisecond, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.Run()
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule+cancel round trips.
+func BenchmarkScheduleCancel(b *testing.B) {
+	sim := New()
+	noop := func(*Simulation) {}
+	for i := 0; i < b.N; i++ {
+		h, err := sim.ScheduleAt(time.Hour, noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Cancel(h)
+	}
+}
+
+// BenchmarkSelfPerpetuatingChain measures the common simulator pattern of
+// events scheduling their successors.
+func BenchmarkSelfPerpetuatingChain(b *testing.B) {
+	sim := New()
+	count := 0
+	var tick Handler
+	tick = func(s *Simulation) {
+		count++
+		if count < b.N {
+			if _, err := s.ScheduleAfter(time.Millisecond, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := sim.ScheduleAt(0, tick); err != nil {
+		b.Fatal(err)
+	}
+	sim.Run()
+}

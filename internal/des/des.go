@@ -1,0 +1,240 @@
+// Package des is a discrete-event simulation kernel.
+//
+// It substitutes for the simulation engine of the Möbius tool used in the
+// paper: a monotone virtual clock, an event calendar ordered by firing time
+// with stable FIFO tie-breaking, handles for cancellation, and run loops
+// bounded by time, event count, or an arbitrary predicate. Virtual time is
+// expressed as time.Duration offsets from the simulation start, which is all
+// the models need and keeps arithmetic exact.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is the callback executed when an event fires. The simulation
+// passes itself so handlers can schedule follow-up events.
+type Handler func(sim *Simulation)
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	id uint64
+}
+
+// Valid reports whether the handle refers to an event that was scheduled
+// (it may have fired or been cancelled since).
+func (h Handle) Valid() bool { return h.id != 0 }
+
+type event struct {
+	at       time.Duration
+	seq      uint64 // schedule order; breaks ties FIFO
+	id       uint64
+	priority int // lower fires first at equal time
+	handler  Handler
+	index    int // heap index, -1 when popped/cancelled
+}
+
+// eventHeap orders events by (time, priority, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		// heap.Push is only called by this package with *event; reaching
+		// this branch is a programming error caught in tests.
+		panic("des: pushed non-event")
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Tracer observes every fired event; install one with Simulation.SetTracer
+// to record execution traces in tests or debugging sessions.
+type Tracer interface {
+	Fired(at time.Duration, seq uint64)
+}
+
+// Simulation is a single-threaded discrete-event simulation. It is not safe
+// for concurrent use; run one Simulation per goroutine.
+type Simulation struct {
+	now     time.Duration
+	queue   eventHeap
+	events  map[uint64]*event
+	nextSeq uint64
+	nextID  uint64
+	fired   uint64
+	tracer  Tracer
+	stopped bool
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{
+		events: make(map[uint64]*event),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// SetTracer installs a tracer invoked for every fired event. Pass nil to
+// remove.
+func (s *Simulation) SetTracer(t Tracer) { s.tracer = t }
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("des: event scheduled in the past")
+
+// ScheduleAt schedules h to fire at absolute virtual time at.
+// It returns an error if at precedes the current time.
+func (s *Simulation) ScheduleAt(at time.Duration, h Handler) (Handle, error) {
+	return s.ScheduleAtPriority(at, 0, h)
+}
+
+// ScheduleAtPriority schedules h at time at with a priority; among events at
+// the same instant, lower priorities fire first and equal priorities fire in
+// scheduling order.
+func (s *Simulation) ScheduleAtPriority(at time.Duration, priority int, h Handler) (Handle, error) {
+	if h == nil {
+		return Handle{}, errors.New("des: nil handler")
+	}
+	if at < s.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	s.nextSeq++
+	s.nextID++
+	ev := &event{
+		at:       at,
+		seq:      s.nextSeq,
+		id:       s.nextID,
+		priority: priority,
+		handler:  h,
+	}
+	heap.Push(&s.queue, ev)
+	s.events[ev.id] = ev
+	return Handle{id: ev.id}, nil
+}
+
+// ScheduleAfter schedules h to fire delay after the current time. Negative
+// delays are clamped to zero (fire "now", after currently executing events).
+func (s *Simulation) ScheduleAfter(delay time.Duration, h Handler) (Handle, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, h)
+}
+
+// ScheduleAfterPriority is ScheduleAfter with an explicit priority.
+func (s *Simulation) ScheduleAfterPriority(delay time.Duration, priority int, h Handler) (Handle, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAtPriority(s.now+delay, priority, h)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired, was cancelled, or the handle is
+// invalid).
+func (s *Simulation) Cancel(h Handle) bool {
+	ev, ok := s.events[h.id]
+	if !ok {
+		return false
+	}
+	delete(s.events, h.id)
+	if ev.index >= 0 {
+		heap.Remove(&s.queue, ev.index)
+	}
+	return true
+}
+
+// Stop makes the current run loop return after the executing handler
+// completes. Pending events remain queued.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// step fires the earliest event. It reports false when the queue is empty.
+func (s *Simulation) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	top, ok := heap.Pop(&s.queue).(*event)
+	if !ok {
+		return false
+	}
+	delete(s.events, top.id)
+	s.now = top.at
+	s.fired++
+	if s.tracer != nil {
+		s.tracer.Fired(top.at, top.seq)
+	}
+	top.handler(s)
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulation) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with firing time <= end, then advances the clock
+// to end. Events scheduled beyond end remain pending.
+func (s *Simulation) RunUntil(end time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 || s.queue[0].at > end {
+			break
+		}
+		s.step()
+	}
+	if s.now < end && !s.stopped {
+		s.now = end
+	}
+}
+
+// RunWhile executes events while cond returns true, checking before each
+// event. It stops when the queue empties, cond fails, or Stop is called.
+func (s *Simulation) RunWhile(cond func() bool) {
+	s.stopped = false
+	for !s.stopped && cond() && s.step() {
+	}
+}

@@ -1,0 +1,399 @@
+package des
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	var fired []time.Duration
+	times := []time.Duration{5, 1, 9, 3, 3, 7, 0, 2}
+	for _, at := range times {
+		at := at
+		if _, err := sim.ScheduleAt(at, func(s *Simulation) {
+			fired = append(fired, s.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("events fired out of order: %v", fired)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := sim.ScheduleAt(time.Second, func(*Simulation) {
+			order = append(order, i)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v, want scheduling order", order)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	var order []string
+	mustSchedule := func(p int, label string) {
+		t.Helper()
+		if _, err := sim.ScheduleAtPriority(time.Second, p, func(*Simulation) {
+			order = append(order, label)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSchedule(5, "low")
+	mustSchedule(-1, "high")
+	mustSchedule(0, "mid")
+	sim.Run()
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	if _, err := sim.ScheduleAt(time.Second, func(*Simulation) {}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if sim.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", sim.Now())
+	}
+	_, err := sim.ScheduleAt(500*time.Millisecond, func(*Simulation) {})
+	if !errors.Is(err, ErrPastEvent) {
+		t.Errorf("scheduling in the past returned %v, want ErrPastEvent", err)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	if _, err := sim.ScheduleAt(0, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestScheduleAfterNegativeClamps(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := false
+	if _, err := sim.ScheduleAfter(-time.Second, func(*Simulation) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if sim.Now() != 0 {
+		t.Errorf("clock advanced to %v for clamped event", sim.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := false
+	h, err := sim.ScheduleAt(time.Second, func(*Simulation) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if sim.Cancel(h) {
+		t.Error("second Cancel returned true")
+	}
+	sim.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelInvalidHandle(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	if sim.Cancel(Handle{}) {
+		t.Error("Cancel of zero handle returned true")
+	}
+	var h Handle
+	if h.Valid() {
+		t.Error("zero handle reports valid")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	h, err := sim.ScheduleAt(0, func(*Simulation) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if sim.Cancel(h) {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	var fired []int
+	handles := make([]Handle, 0, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		h, err := sim.ScheduleAt(time.Duration(i)*time.Second, func(*Simulation) {
+			fired = append(fired, i)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Cancel all odd events.
+	for i := 1; i < 20; i += 2 {
+		if !sim.Cancel(handles[i]) {
+			t.Fatalf("Cancel event %d failed", i)
+		}
+	}
+	sim.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	for _, v := range fired {
+		if v%2 != 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := 0
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 10 * time.Second} {
+		if _, err := sim.ScheduleAt(at, func(*Simulation) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunUntil(5 * time.Second)
+	if fired != 2 {
+		t.Errorf("fired %d events by t=5s, want 2", fired)
+	}
+	if sim.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", sim.Now())
+	}
+	if sim.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", sim.Pending())
+	}
+	sim.RunUntil(20 * time.Second)
+	if fired != 3 {
+		t.Errorf("fired %d events by t=20s, want 3", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := false
+	if _, err := sim.ScheduleAt(5*time.Second, func(*Simulation) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(5 * time.Second)
+	if !fired {
+		t.Error("event exactly at the horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if _, err := sim.ScheduleAt(time.Duration(i)*time.Second, func(s *Simulation) {
+			fired++
+			if fired == 3 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if fired != 3 {
+		t.Errorf("fired %d events after Stop, want 3", fired)
+	}
+	if sim.Pending() != 7 {
+		t.Errorf("Pending = %d after Stop, want 7", sim.Pending())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if _, err := sim.ScheduleAt(time.Duration(i)*time.Second, func(*Simulation) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunWhile(func() bool { return fired < 4 })
+	if fired != 4 {
+		t.Errorf("fired %d events, want 4", fired)
+	}
+}
+
+func TestHandlerSchedulesFollowUps(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	count := 0
+	var tick Handler
+	tick = func(s *Simulation) {
+		count++
+		if count < 100 {
+			if _, err := s.ScheduleAfter(time.Minute, tick); err != nil {
+				t.Errorf("reschedule: %v", err)
+			}
+		}
+	}
+	if _, err := sim.ScheduleAt(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if count != 100 {
+		t.Errorf("self-rescheduling chain ran %d times, want 100", count)
+	}
+	if want := 99 * time.Minute; sim.Now() != want {
+		t.Errorf("Now = %v, want %v", sim.Now(), want)
+	}
+}
+
+type recordingTracer struct {
+	times []time.Duration
+}
+
+func (r *recordingTracer) Fired(at time.Duration, _ uint64) { r.times = append(r.times, at) }
+
+func TestTracer(t *testing.T) {
+	t.Parallel()
+
+	sim := New()
+	tr := &recordingTracer{}
+	sim.SetTracer(tr)
+	for _, at := range []time.Duration{3, 1, 2} {
+		if _, err := sim.ScheduleAt(at, func(*Simulation) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if len(tr.times) != 3 {
+		t.Fatalf("tracer saw %d events, want 3", len(tr.times))
+	}
+	if sim.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", sim.Fired())
+	}
+}
+
+// Property: for any batch of scheduled times, execution order is a sorted
+// permutation of the input.
+func TestQuickExecutionOrderSorted(t *testing.T) {
+	t.Parallel()
+
+	f := func(offsets []uint16) bool {
+		sim := New()
+		var fired []time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Millisecond
+			if _, err := sim.ScheduleAt(at, func(s *Simulation) {
+				fired = append(fired, s.Now())
+			}); err != nil {
+				return false
+			}
+		}
+		sim.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestQuickCancelSubset(t *testing.T) {
+	t.Parallel()
+
+	f := func(n uint8, mask uint32) bool {
+		count := int(n%32) + 1
+		sim := New()
+		fired := make([]bool, count)
+		handles := make([]Handle, count)
+		for i := 0; i < count; i++ {
+			i := i
+			h, err := sim.ScheduleAt(time.Duration(i)*time.Second, func(*Simulation) {
+				fired[i] = true
+			})
+			if err != nil {
+				return false
+			}
+			handles[i] = h
+		}
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sim.Cancel(handles[i])
+			}
+		}
+		sim.Run()
+		for i := 0; i < count; i++ {
+			cancelled := mask&(1<<uint(i)) != 0
+			if fired[i] == cancelled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

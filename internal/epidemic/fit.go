@@ -1,0 +1,105 @@
+package epidemic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FitResult is the outcome of fitting the capped-SI (logistic) model to a
+// measured infection curve.
+type FitResult struct {
+	// Model carries the fitted contact rate and the supplied cap.
+	Model SICapped
+	// I0 is the fitted initial infected fraction.
+	I0 float64
+	// R2 is the coefficient of determination of the logit regression.
+	R2 float64
+	// Points is the number of observations used (those strictly inside
+	// (0, cap)).
+	Points int
+}
+
+// FitSICapped fits the logistic i(t) = cap / (1 + A e^{-beta t}) to an
+// observed infection curve by linear regression on the logit transform
+// ln(i/(cap-i)) = ln(i0/(cap-i0)) + beta t. times are in hours; values and
+// cap share any consistent unit (fractions or absolute counts).
+// Observations at or beyond the cap, at or below zero, or within margin of
+// either boundary are excluded (their logit is unstable). At least three
+// usable points are required.
+func FitSICapped(times, values []float64, cap float64) (FitResult, error) {
+	if len(times) != len(values) {
+		return FitResult{}, fmt.Errorf("epidemic: %d times but %d values", len(times), len(values))
+	}
+	if cap <= 0 {
+		return FitResult{}, errors.New("epidemic: cap must be positive")
+	}
+	const margin = 0.005 // exclude the flat tails
+	var xs, zs []float64
+	for i := range times {
+		v := values[i]
+		if v <= cap*margin || v >= cap*(1-margin) {
+			continue
+		}
+		xs = append(xs, times[i])
+		zs = append(zs, math.Log(v/(cap-v)))
+	}
+	if len(xs) < 3 {
+		return FitResult{}, errors.New("epidemic: fewer than 3 points inside the logistic's active range")
+	}
+	slope, intercept, r2, err := linearRegression(xs, zs)
+	if err != nil {
+		return FitResult{}, err
+	}
+	a := math.Exp(intercept)
+	i0 := cap * a / (1 + a)
+	return FitResult{
+		Model:  SICapped{Beta: slope, Cap: cap},
+		I0:     i0,
+		R2:     r2,
+		Points: len(xs),
+	}, nil
+}
+
+// linearRegression returns the least-squares slope, intercept, and R² of
+// ys on xs.
+func linearRegression(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, errors.New("epidemic: regression needs >= 2 paired points")
+	}
+	var sumX, sumY, sumXY, sumXX, sumYY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXY += xs[i] * ys[i]
+		sumXX += xs[i] * xs[i]
+		sumYY += ys[i] * ys[i]
+	}
+	denom := n*sumXX - sumX*sumX
+	if denom == 0 {
+		return 0, 0, 0, errors.New("epidemic: regression on constant x")
+	}
+	slope = (n*sumXY - sumX*sumY) / denom
+	intercept = (sumY - slope*sumX) / n
+
+	ssTot := sumYY - sumY*sumY/n
+	if ssTot <= 0 {
+		return slope, intercept, 1, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	return slope, intercept, 1 - ssRes/ssTot, nil
+}
+
+// DoublingTime returns the early-phase doubling time of the fitted model
+// in hours (ln 2 / beta); +Inf for non-growing fits.
+func (f FitResult) DoublingTime() float64 {
+	if f.Model.Beta <= 0 {
+		return math.Inf(1)
+	}
+	return math.Ln2 / f.Model.Beta
+}

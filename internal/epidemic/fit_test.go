@@ -1,0 +1,95 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/virus"
+)
+
+func TestFitRecoversKnownLogistic(t *testing.T) {
+	t.Parallel()
+
+	truth := SICapped{Beta: 0.4, Cap: 0.32}
+	const i0 = 0.002
+	var times, values []float64
+	for h := 0.0; h <= 60; h += 2 {
+		times = append(times, h)
+		values = append(values, truth.LogisticClosedForm(i0, h))
+	}
+	fit, err := FitSICapped(times, values, truth.Cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Model.Beta-truth.Beta) > 1e-6 {
+		t.Errorf("fitted beta = %v, want %v", fit.Model.Beta, truth.Beta)
+	}
+	if math.Abs(fit.I0-i0) > 1e-6 {
+		t.Errorf("fitted i0 = %v, want %v", fit.I0, i0)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v on exact data", fit.R2)
+	}
+	if want := math.Ln2 / truth.Beta; math.Abs(fit.DoublingTime()-want) > 1e-6 {
+		t.Errorf("doubling time = %v, want %v", fit.DoublingTime(), want)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := FitSICapped([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitSICapped([]float64{1, 2}, []float64{0.1, 0.2}, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	// All points on the boundary: nothing usable.
+	if _, err := FitSICapped([]float64{1, 2, 3}, []float64{0, 0, 0}, 1); err == nil {
+		t.Error("boundary-only data accepted")
+	}
+	if _, err := FitSICapped([]float64{1, 1, 1}, []float64{0.3, 0.5, 0.7}, 1); err == nil {
+		t.Error("constant-x regression accepted")
+	}
+}
+
+func TestDoublingTimeNonGrowing(t *testing.T) {
+	t.Parallel()
+
+	f := FitResult{Model: SICapped{Beta: 0}}
+	if !math.IsInf(f.DoublingTime(), 1) {
+		t.Error("non-growing fit has finite doubling time")
+	}
+}
+
+// TestFitVirus3Simulation closes the loop between simulator and theory:
+// the Virus 3 infection curve (homogeneous random contacts) should be
+// well described by a capped logistic.
+func TestFitVirus3Simulation(t *testing.T) {
+	t.Parallel()
+
+	cfg := core.Default(virus.Virus3())
+	rs, err := core.Run(cfg, core.Options{Replications: 6, GridPoints: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times, values []float64
+	for i := range rs.Band.Times {
+		times = append(times, rs.Band.Times[i].Hours())
+		values = append(values, rs.Band.Mean[i])
+	}
+	fit, err := FitSICapped(times, values, rs.FinalMean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Model.Beta <= 0 {
+		t.Errorf("fitted growth rate %v not positive", fit.Model.Beta)
+	}
+	if fit.R2 < 0.85 {
+		t.Errorf("logistic fit R2 = %v; Virus 3 should be near-logistic", fit.R2)
+	}
+	if dt := fit.DoublingTime(); dt <= 0 || dt > 5 {
+		t.Errorf("early doubling time = %v h, want ~0.5-3 h for Virus 3", dt)
+	}
+}

@@ -1,0 +1,294 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/curve"
+)
+
+// syntheticSeries builds a SeriesResult whose mean curve rises linearly
+// from 0 to final over 100 hours.
+func syntheticSeries(t *testing.T, label string, final float64) SeriesResult {
+	t.Helper()
+	c := curve.New(0)
+	for h := 1; h <= 100; h++ {
+		if err := c.Append(time.Duration(h)*time.Hour, final*float64(h)/100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	band, err := curve.Aggregate([]*curve.Curve{c}, 100*time.Hour, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SeriesResult{Label: label, Band: band, FinalMean: final}
+}
+
+func syntheticFigure(t *testing.T, id string, series ...SeriesResult) *FigureResult {
+	t.Helper()
+	return &FigureResult{Figure: Figure{ID: id, Title: id}, Series: series}
+}
+
+func TestCheckScanClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	good := syntheticFigure(t, "figure2",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "6-Hour Delay", 16),
+		syntheticSeries(t, "12-Hour Delay", 40),
+		syntheticSeries(t, "24-Hour Delay", 80),
+	)
+	checks, err := CheckScanClaims(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("paper-shaped data failed %s: %s", c.ID, c.Measured)
+		}
+	}
+
+	bad := syntheticFigure(t, "figure2",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "6-Hour Delay", 320), // scan useless
+		syntheticSeries(t, "12-Hour Delay", 320),
+		syntheticSeries(t, "24-Hour Delay", 320),
+	)
+	checks, err = CheckScanClaims(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyFail := false
+	for _, c := range checks {
+		if !c.Pass {
+			anyFail = true
+		}
+	}
+	if !anyFail {
+		t.Error("useless scan passed every claim")
+	}
+}
+
+func TestCheckDetectorClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	// Baseline reaches 42% of 320 (134) at ~42h; a detector series that
+	// never reaches it passes (contained), one that tracks baseline fails.
+	slowDetector := syntheticSeries(t, "0.95 Accuracy", 100) // plateaus below the level
+	fig := syntheticFigure(t, "figure3",
+		syntheticSeries(t, "Baseline", 320),
+		slowDetector,
+	)
+	checks, err := CheckDetectorClaims(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checks[0].Pass {
+		t.Errorf("contained detector failed: %s", checks[0].Measured)
+	}
+	if !strings.Contains(checks[0].Measured, "never (contained)") {
+		t.Errorf("contained case not labeled: %s", checks[0].Measured)
+	}
+
+	tracking := syntheticFigure(t, "figure3",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "0.95 Accuracy", 320), // identical growth
+	)
+	checks, err = CheckDetectorClaims(tracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks[0].Pass {
+		t.Error("detector identical to baseline passed the slowdown claim")
+	}
+}
+
+func TestCheckEducationClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	series := make([]SeriesResult, 0, 8)
+	for _, name := range []string{"Virus 1", "Virus 2", "Virus 3", "Virus 4"} {
+		series = append(series, syntheticSeries(t, name, 320))
+	}
+	for _, name := range []string{"Virus 1", "Virus 2", "Virus 3", "Virus 4"} {
+		series = append(series, syntheticSeries(t, name+" User Ed", 160))
+	}
+	checks, err := CheckEducationClaims(syntheticFigure(t, "figure4", series...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 4 {
+		t.Fatalf("got %d education checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("perfect halving failed %s: %s", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestCheckImmunizationClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	fig := syntheticFigure(t, "figure5",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "Hours 24-25", 40),
+		syntheticSeries(t, "Hours 24-48", 64), // +60%
+		syntheticSeries(t, "Hours 24-30", 45),
+		syntheticSeries(t, "Hours 48-49", 140),
+		syntheticSeries(t, "Hours 48-72", 180),
+		syntheticSeries(t, "Hours 48-54", 150),
+	)
+	checks, err := CheckImmunizationClaims(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("paper-shaped immunization failed %s: %s", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestCheckMonitoringClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	fig := syntheticFigure(t, "figure6",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "15-Minute Wait", 120), // never reaches 47% of 320
+		syntheticSeries(t, "60-Minute Wait", 10),
+	)
+	checks, err := CheckMonitoringClaims(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("contained monitoring failed %s: %s", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestCheckBlacklistClaimsLogic(t *testing.T) {
+	t.Parallel()
+
+	fig := syntheticFigure(t, "figure7",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "10 Messages", 5),
+		syntheticSeries(t, "40 Messages", 230),
+	)
+	checks, err := CheckBlacklistClaims(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("paper-shaped blacklisting failed %s: %s", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestNegativeChecksLogic(t *testing.T) {
+	t.Parallel()
+
+	scan := syntheticFigure(t, "neg-scan-v3",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "6-Hour Delay", 310),
+		syntheticSeries(t, "12-Hour Delay", 318),
+	)
+	checks, err := CheckScanVsVirus3(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checks[0].Pass {
+		t.Errorf("ineffectual scan failed N1: %s", checks[0].Measured)
+	}
+
+	monitor := syntheticFigure(t, "neg-monitor-slow",
+		syntheticSeries(t, "Virus 1", 320), syntheticSeries(t, "Virus 1 Monitored", 318),
+		syntheticSeries(t, "Virus 2", 320), syntheticSeries(t, "Virus 2 Monitored", 315),
+		syntheticSeries(t, "Virus 4", 320), syntheticSeries(t, "Virus 4 Monitored", 319),
+	)
+	checks, err = CheckMonitorVsSlowViruses(monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("ineffectual monitoring failed %s: %s", c.ID, c.Measured)
+		}
+	}
+
+	bl2 := syntheticFigure(t, "neg-blacklist-v2",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "10 Messages", 318),
+	)
+	checks, err = CheckBlacklistVsVirus2(bl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checks[0].Pass {
+		t.Errorf("ineffective blacklist failed N3: %s", checks[0].Measured)
+	}
+
+	bl1 := syntheticFigure(t, "neg-blacklist-v1",
+		syntheticSeries(t, "Baseline", 320),
+		syntheticSeries(t, "10 Messages", 190), // ~60%
+		syntheticSeries(t, "40 Messages", 315),
+	)
+	checks, err = CheckBlacklistVsVirus1(bl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("60%%-containment shape failed %s: %s", c.ID, c.Measured)
+		}
+	}
+
+	eq := syntheticFigure(t, "blacklist-equivalence",
+		syntheticSeries(t, "Random @ threshold 30", 180),
+		syntheticSeries(t, "Contacts @ threshold 10", 150),
+	)
+	checks, err = CheckBlacklistEquivalence(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checks[0].Pass {
+		t.Errorf("near-equal pair failed N5: %s", checks[0].Measured)
+	}
+	// Zero-vs-zero degenerate agreement defaults to pass.
+	zero := syntheticFigure(t, "blacklist-equivalence",
+		syntheticSeries(t, "Random @ threshold 30", 0),
+		syntheticSeries(t, "Contacts @ threshold 10", 0),
+	)
+	checks, err = CheckBlacklistEquivalence(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checks[0].Pass {
+		t.Error("degenerate zero pair failed N5")
+	}
+}
+
+func TestCheckPlateauInvarianceLogic(t *testing.T) {
+	t.Parallel()
+
+	fig := syntheticFigure(t, "sens-readdelay",
+		syntheticSeries(t, "a", 320),
+		syntheticSeries(t, "b", 250), // 22% off
+	)
+	checks := CheckPlateauInvariance(fig, 320, 0.12)
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks", len(checks))
+	}
+	if !checks[0].Pass || checks[1].Pass {
+		t.Errorf("invariance verdicts wrong: %v %v", checks[0].Pass, checks[1].Pass)
+	}
+	// Zero expectation: deviation defaults to zero and passes.
+	zero := CheckPlateauInvariance(fig, 0, 0.12)
+	if !zero[0].Pass {
+		t.Error("zero-expected plateau failed")
+	}
+}

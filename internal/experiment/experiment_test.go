@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testScale shrinks the population 10x so every figure runs in seconds.
+var testScale = Scale{Factor: 10}
+
+// testOpts keeps replication counts small for CI.
+var testOpts = core.Options{Replications: 3, GridPoints: 40}
+
+func TestFigureDefinitionsComplete(t *testing.T) {
+	t.Parallel()
+
+	figs := AllFigures(FullScale)
+	if len(figs) != 7 {
+		t.Fatalf("got %d figures, want 7", len(figs))
+	}
+	wantSeries := map[string]int{
+		"figure1": 4, // four baselines
+		"figure2": 4, // baseline + 3 delays
+		"figure3": 6, // baseline + 5 accuracies
+		"figure4": 8, // 4 baselines + 4 educated
+		"figure5": 7, // baseline + 2x3 deployments
+		"figure6": 4, // baseline + 3 waits
+		"figure7": 5, // baseline + 4 thresholds
+	}
+	for _, f := range figs {
+		if got := len(f.Series); got != wantSeries[f.ID] {
+			t.Errorf("%s has %d series, want %d", f.ID, got, wantSeries[f.ID])
+		}
+		if f.Title == "" || f.XLabel == "" || f.YLabel == "" {
+			t.Errorf("%s missing labels", f.ID)
+		}
+		for _, s := range f.Series {
+			if err := s.Config.Validate(); err != nil {
+				t.Errorf("%s / %s: invalid config: %v", f.ID, s.Label, err)
+			}
+		}
+	}
+	studies := AllStudies(FullScale)
+	if len(studies) != 14 {
+		t.Errorf("got %d studies, want 14 (7 figures + scaling + combined + 5 negative)", len(studies))
+	}
+	seen := make(map[string]bool, len(studies))
+	for _, f := range studies {
+		if seen[f.ID] {
+			t.Errorf("duplicate study id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestScaleShrinksPopulation(t *testing.T) {
+	t.Parallel()
+
+	fig := Figure1(testScale)
+	for _, s := range fig.Series {
+		if s.Config.Population != 100 {
+			t.Errorf("%s population = %d, want 100", s.Label, s.Config.Population)
+		}
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	t.Parallel()
+
+	fr, err := RunFigure(Figure6(testScale), testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 4 {
+		t.Fatalf("got %d series results", len(fr.Series))
+	}
+	for _, s := range fr.Series {
+		if s.Band.Len() != 41 {
+			t.Errorf("%s band has %d points, want 41", s.Label, s.Band.Len())
+		}
+		if s.FinalMean < 1 {
+			t.Errorf("%s has no infections", s.Label)
+		}
+	}
+	if _, ok := fr.SeriesByLabel("Baseline"); !ok {
+		t.Error("baseline series missing")
+	}
+	if _, ok := fr.SeriesByLabel("nope"); ok {
+		t.Error("phantom series found")
+	}
+}
+
+func TestRunFigureEmpty(t *testing.T) {
+	t.Parallel()
+
+	if _, err := RunFigure(Figure{ID: "empty"}, testOpts); err == nil {
+		t.Error("empty figure accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	t.Parallel()
+
+	fr, err := RunFigure(Figure7(testScale), testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 42 { // header + 41 grid rows
+		t.Errorf("csv has %d lines, want 42", len(lines))
+	}
+	if !strings.Contains(lines[0], "Baseline mean") || !strings.Contains(lines[0], "10 Messages ci95") {
+		t.Errorf("csv header wrong: %s", lines[0])
+	}
+}
+
+func TestRenderASCIIAndSummary(t *testing.T) {
+	t.Parallel()
+
+	fr, err := RunFigure(Figure6(testScale), testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := fr.RenderASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "Figure 6") {
+		t.Errorf("chart missing title:\n%s", chart)
+	}
+	sum := fr.Summary()
+	if !strings.Contains(sum, "Baseline") || !strings.Contains(sum, "final mean") {
+		t.Errorf("summary malformed:\n%s", sum)
+	}
+}
+
+func TestClaimEvaluationsNeedSeries(t *testing.T) {
+	t.Parallel()
+
+	empty := &FigureResult{Figure: Figure{ID: "x"}}
+	if _, err := CheckScanClaims(empty); err == nil {
+		t.Error("scan claims without series accepted")
+	}
+	if _, err := CheckDetectorClaims(empty); err == nil {
+		t.Error("detector claims without series accepted")
+	}
+	if _, err := CheckEducationClaims(empty); err == nil {
+		t.Error("education claims without series accepted")
+	}
+	if _, err := CheckImmunizationClaims(empty); err == nil {
+		t.Error("immunization claims without series accepted")
+	}
+	if _, err := CheckMonitoringClaims(empty); err == nil {
+		t.Error("monitoring claims without series accepted")
+	}
+	if _, err := CheckBlacklistClaims(empty); err == nil {
+		t.Error("blacklist claims without series accepted")
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	t.Parallel()
+
+	pass := Check{ID: "T", Statement: "s", Measured: "m", Pass: true}
+	if !strings.Contains(pass.String(), "ok") {
+		t.Error("passing check not marked ok")
+	}
+	fail := Check{ID: "T", Statement: "s", Measured: "m"}
+	if !strings.Contains(fail.String(), "FAIL") {
+		t.Error("failing check not marked FAIL")
+	}
+}

@@ -1,0 +1,270 @@
+// Package experiment defines one runnable experiment per figure of the
+// paper's evaluation (Figures 1-7), plus the scaling study mentioned in
+// Section 5.3 and the combined-mechanism future-work study from Section 6.
+// A harness runs every series of a figure with replications, and reporting
+// helpers emit CSV files and terminal charts shaped like the paper's plots.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/virus"
+)
+
+// Series is one curve of a figure: a label and the scenario that produces
+// it.
+type Series struct {
+	// Label names the curve as in the paper's legend.
+	Label string
+	// Config is the full scenario.
+	Config core.Config
+}
+
+// Figure is a reproducible experiment: several series sharing axes.
+type Figure struct {
+	// ID is the paper's figure number, e.g. "figure1".
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// XLabel and YLabel name the axes (always hours vs infection count).
+	XLabel, YLabel string
+	// Series are the curves, baseline first where applicable.
+	Series []Series
+}
+
+// Scale shrinks experiments for tests and benchmarks: population and mean
+// degree divide by Factor and horizons stay intact. Factor 1 is the paper's
+// full size.
+type Scale struct {
+	// Factor divides the population (1 = paper size).
+	Factor int
+}
+
+// paperConfig builds the default config for a virus under the scale.
+func (s Scale) paperConfig(v virus.Config) core.Config {
+	cfg := core.Default(v)
+	if s.Factor > 1 {
+		cfg.Population /= s.Factor
+		cfg.Graph.MeanDegree /= float64(s.Factor)
+		if cfg.Graph.MeanDegree < 4 {
+			cfg.Graph.MeanDegree = 4
+		}
+	}
+	return cfg
+}
+
+// FullScale is the paper's population of 1,000 phones.
+var FullScale = Scale{Factor: 1}
+
+// Figure1 is the baseline infection curves of all four viruses without any
+// response mechanism.
+func Figure1(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure1",
+		Title:  "Figure 1: Baseline Infection Curves without Response Mechanisms",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	for _, v := range virus.Scenarios() {
+		fig.Series = append(fig.Series, Series{Label: v.Name, Config: s.paperConfig(v)})
+	}
+	return fig
+}
+
+// Figure2 is the gateway virus scan on Virus 1 with signature activation
+// delays of 6, 12, and 24 hours.
+func Figure2(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure2",
+		Title:  "Figure 2: Virus Scan: Varying the Activation Time Delay (Virus 1)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	fig.Series = append(fig.Series, Series{Label: "Baseline", Config: s.paperConfig(virus.Virus1())})
+	for _, delay := range []time.Duration{6 * time.Hour, 12 * time.Hour, 24 * time.Hour} {
+		cfg := s.paperConfig(virus.Virus1())
+		cfg.Responses = []mms.ResponseFactory{response.NewScan(delay)}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("%d-Hour Delay", int(delay.Hours())),
+			Config: cfg,
+		})
+	}
+	return fig
+}
+
+// Figure3 is the gateway detection algorithm on Virus 2 at accuracies 0.80
+// through 0.99.
+func Figure3(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure3",
+		Title:  "Figure 3: Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	fig.Series = append(fig.Series, Series{Label: "Baseline", Config: s.paperConfig(virus.Virus2())})
+	for _, acc := range []float64{0.99, 0.95, 0.90, 0.85, 0.80} {
+		cfg := s.paperConfig(virus.Virus2())
+		cfg.Responses = []mms.ResponseFactory{
+			response.NewDetector(acc, response.DefaultAnalysisDelay),
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("%.2f Accuracy", acc),
+			Config: cfg,
+		})
+	}
+	return fig
+}
+
+// Figure4 is phone user education across all four viruses: the baseline
+// eventual acceptance of 0.40 versus the educated 0.20.
+func Figure4(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure4",
+		Title:  "Figure 4: Phone User Education: Effective for All Viruses",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	for _, v := range virus.Scenarios() {
+		fig.Series = append(fig.Series, Series{Label: v.Name, Config: s.paperConfig(v)})
+	}
+	for _, v := range virus.Scenarios() {
+		cfg := s.paperConfig(v)
+		cfg.Responses = []mms.ResponseFactory{response.NewEducation(0.20)}
+		fig.Series = append(fig.Series, Series{Label: v.Name + " User Ed", Config: cfg})
+	}
+	return fig
+}
+
+// Figure5 is immunization on Virus 4: development 24 or 48 hours crossed
+// with deployment windows of 1, 6, and 24 hours. Labels follow the paper's
+// "Hours dev-(dev+deploy)" convention.
+func Figure5(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure5",
+		Title:  "Figure 5: Immunization Using Patches: Varying the Deployment Times (Virus 4)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	fig.Series = append(fig.Series, Series{Label: "Baseline", Config: s.paperConfig(virus.Virus4())})
+	for _, dev := range []time.Duration{24 * time.Hour, 48 * time.Hour} {
+		for _, deploy := range []time.Duration{time.Hour, 24 * time.Hour, 6 * time.Hour} {
+			cfg := s.paperConfig(virus.Virus4())
+			cfg.Responses = []mms.ResponseFactory{response.NewImmunizer(dev, deploy)}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("Hours %d-%d", int(dev.Hours()), int((dev + deploy).Hours())),
+				Config: cfg,
+			})
+		}
+	}
+	return fig
+}
+
+// Figure6 is monitoring on Virus 3 with forced waits of 15, 30, and 60
+// minutes.
+func Figure6(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure6",
+		Title:  "Figure 6: Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	fig.Series = append(fig.Series, Series{Label: "Baseline", Config: s.paperConfig(virus.Virus3())})
+	for _, wait := range []time.Duration{15 * time.Minute, 30 * time.Minute, 60 * time.Minute} {
+		cfg := s.paperConfig(virus.Virus3())
+		cfg.Responses = []mms.ResponseFactory{response.NewMonitor(wait)}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("%d-Minute Wait", int(wait.Minutes())),
+			Config: cfg,
+		})
+	}
+	return fig
+}
+
+// Figure7 is blacklisting on Virus 3 with thresholds 10 through 40
+// suspected infected messages.
+func Figure7(s Scale) Figure {
+	fig := Figure{
+		ID:     "figure7",
+		Title:  "Figure 7: Blacklisting: Varying the Activation Threshold (Virus 3)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	fig.Series = append(fig.Series, Series{Label: "Baseline", Config: s.paperConfig(virus.Virus3())})
+	for _, threshold := range []int{10, 20, 30, 40} {
+		cfg := s.paperConfig(virus.Virus3())
+		cfg.Responses = []mms.ResponseFactory{response.NewBlacklist(threshold)}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("%d Messages", threshold),
+			Config: cfg,
+		})
+	}
+	return fig
+}
+
+// ScalingStudy reproduces the Section 5.3 remark that the results scale to
+// a 2,000-phone population: Virus 1 baselines at 1,000 and 2,000 phones.
+// Scaled variants divide both populations.
+func ScalingStudy(s Scale) Figure {
+	fig := Figure{
+		ID:     "scaling",
+		Title:  "Section 5.3: Population Scaling (Virus 1 baseline, 1000 vs 2000 phones)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	small := s.paperConfig(virus.Virus1())
+	large := small
+	large.Population *= 2
+	fig.Series = append(fig.Series,
+		Series{Label: fmt.Sprintf("%d phones", small.Population), Config: small},
+		Series{Label: fmt.Sprintf("%d phones", large.Population), Config: large},
+	)
+	return fig
+}
+
+// CombinedStudy is the paper's stated future-work extension: a response
+// that slows the virus (monitoring) paired with one that stops it (gateway
+// scan), against fast Virus 3 where neither scan alone nor nothing works.
+func CombinedStudy(s Scale) Figure {
+	fig := Figure{
+		ID:     "combined",
+		Title:  "Section 6 extension: Combining Monitoring with a Gateway Scan (Virus 3)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	base := s.paperConfig(virus.Virus3())
+	scanOnly := s.paperConfig(virus.Virus3())
+	scanOnly.Responses = []mms.ResponseFactory{response.NewScan(6 * time.Hour)}
+	monitorOnly := s.paperConfig(virus.Virus3())
+	monitorOnly.Responses = []mms.ResponseFactory{response.NewMonitor(15 * time.Minute)}
+	both := s.paperConfig(virus.Virus3())
+	both.Responses = []mms.ResponseFactory{
+		response.NewMonitor(15 * time.Minute),
+		response.NewScan(6 * time.Hour),
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "Baseline", Config: base},
+		Series{Label: "Scan only (6h)", Config: scanOnly},
+		Series{Label: "Monitor only (15m)", Config: monitorOnly},
+		Series{Label: "Monitor + Scan", Config: both},
+	)
+	return fig
+}
+
+// AllFigures returns every paper figure in order.
+func AllFigures(s Scale) []Figure {
+	return []Figure{
+		Figure1(s), Figure2(s), Figure3(s), Figure4(s),
+		Figure5(s), Figure6(s), Figure7(s),
+	}
+}
+
+// AllStudies returns the figures plus the scaling and combined studies and
+// the negative-result reproductions.
+func AllStudies(s Scale) []Figure {
+	studies := append(AllFigures(s), ScalingStudy(s), CombinedStudy(s))
+	return append(studies, NegativeStudies(s)...)
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+)
+
+// SeriesResult is one executed series of a figure.
+type SeriesResult struct {
+	// Label echoes the series label.
+	Label string
+	// Band is the cross-replication infection curve.
+	Band *curve.Band
+	// FinalMean is the mean final infection count.
+	FinalMean float64
+	// RunSet holds the full per-replication detail.
+	RunSet *core.RunSet
+}
+
+// FigureResult is an executed figure.
+type FigureResult struct {
+	// Figure echoes the definition.
+	Figure Figure
+	// Series holds results in definition order.
+	Series []SeriesResult
+	// Elapsed is the wall-clock cost of the run.
+	Elapsed time.Duration
+}
+
+// SeriesByLabel returns the named series result.
+func (fr *FigureResult) SeriesByLabel(label string) (*SeriesResult, bool) {
+	for i := range fr.Series {
+		if fr.Series[i].Label == label {
+			return &fr.Series[i], true
+		}
+	}
+	return nil, false
+}
+
+// RunFigure executes every series of the figure with the given options.
+func RunFigure(fig Figure, opts core.Options) (*FigureResult, error) {
+	if len(fig.Series) == 0 {
+		return nil, fmt.Errorf("experiment: figure %s has no series", fig.ID)
+	}
+	start := time.Now()
+	out := &FigureResult{Figure: fig, Series: make([]SeriesResult, 0, len(fig.Series))}
+	for _, s := range fig.Series {
+		rs, err := core.Run(s.Config, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s / %s: %w", fig.ID, s.Label, err)
+		}
+		out.Series = append(out.Series, SeriesResult{
+			Label:     s.Label,
+			Band:      rs.Band,
+			FinalMean: rs.FinalMean(),
+			RunSet:    rs,
+		})
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// ErrSeriesMissing is returned by claim evaluations when a needed series is
+// absent from a figure result.
+var ErrSeriesMissing = errors.New("experiment: series missing from figure result")

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/asciichart"
+)
+
+// WriteCSV emits the figure's aggregated curves as CSV: one row per grid
+// time, one column pair (mean, ci95) per series.
+func (fr *FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"hours"}
+	for _, s := range fr.Series {
+		header = append(header, s.Label+" mean", s.Label+" ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: write csv header: %w", err)
+	}
+	if len(fr.Series) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	grid := fr.Series[0].Band.Times
+	row := make([]string, 0, 1+2*len(fr.Series))
+	for i := range grid {
+		row = row[:0]
+		row = append(row, strconv.FormatFloat(grid[i].Hours(), 'f', 3, 64))
+		for _, s := range fr.Series {
+			if i < len(s.Band.Mean) {
+				row = append(row,
+					strconv.FormatFloat(s.Band.Mean[i], 'f', 3, 64),
+					strconv.FormatFloat(s.Band.CI95[i], 'f', 3, 64))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderASCII draws the figure as a terminal chart shaped like the paper's
+// plot.
+func (fr *FigureResult) RenderASCII() (string, error) {
+	series := make([]asciichart.Series, 0, len(fr.Series))
+	for _, s := range fr.Series {
+		xs := make([]float64, s.Band.Len())
+		ys := make([]float64, s.Band.Len())
+		for i := range xs {
+			xs[i] = s.Band.Times[i].Hours()
+			ys[i] = s.Band.Mean[i]
+		}
+		series = append(series, asciichart.Series{Name: s.Label, X: xs, Y: ys})
+	}
+	return asciichart.Render(asciichart.Config{
+		Title:  fr.Figure.Title,
+		XLabel: fr.Figure.XLabel,
+		YLabel: fr.Figure.YLabel,
+	}, series...)
+}
+
+// Summary renders a one-line-per-series text table with final means.
+func (fr *FigureResult) Summary() string {
+	out := fr.Figure.Title + "\n"
+	for _, s := range fr.Series {
+		out += fmt.Sprintf("  %-24s final mean = %7.1f infected\n", s.Label, s.FinalMean)
+	}
+	out += fmt.Sprintf("  (wall clock %v)\n", fr.Elapsed.Round(fr.Elapsed/100+1))
+	return out
+}

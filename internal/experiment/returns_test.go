@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestReturnsValidation(t *testing.T) {
+	t.Parallel()
+
+	sweep := ScanReturnsSweep(testScale)
+	if _, err := EvaluateReturns(Sweep{Name: "x", Baseline: sweep.Baseline}, 0.05, testOpts); err == nil {
+		t.Error("sweep without levels accepted")
+	}
+	if _, err := EvaluateReturns(sweep, 0, testOpts); err == nil {
+		t.Error("zero knee fraction accepted")
+	}
+	if _, err := EvaluateReturns(sweep, 1, testOpts); err == nil {
+		t.Error("knee fraction 1 accepted")
+	}
+}
+
+func TestReturnsSweepDefinitions(t *testing.T) {
+	t.Parallel()
+
+	for _, sweep := range []Sweep{
+		ScanReturnsSweep(FullScale),
+		DetectorReturnsSweep(FullScale),
+		MonitorReturnsSweep(FullScale),
+		ImmunizerReturnsSweep(FullScale),
+	} {
+		if len(sweep.Points) < 3 {
+			t.Errorf("%s has only %d levels", sweep.Name, len(sweep.Points))
+		}
+		if err := sweep.Baseline.Validate(); err != nil {
+			t.Errorf("%s baseline: %v", sweep.Name, err)
+		}
+		prev := -1.0
+		for _, p := range sweep.Points {
+			if err := p.Config.Validate(); err != nil {
+				t.Errorf("%s / %s: %v", sweep.Name, p.Label, err)
+			}
+			if p.Strength <= prev {
+				t.Errorf("%s: strengths not increasing at %s", sweep.Name, p.Label)
+			}
+			prev = p.Strength
+		}
+	}
+}
+
+func TestReturnsKneeOnScaledScan(t *testing.T) {
+	t.Parallel()
+
+	res, err := EvaluateReturns(ScanReturnsSweep(testScale), 0.05, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	if res.Baseline <= 0 {
+		t.Fatal("baseline has no infections")
+	}
+	// Prevention must be (weakly) increasing with strength, modulo noise:
+	// the strongest level must prevent at least as much as the weakest.
+	first := res.Points[0].Prevented
+	last := res.Points[len(res.Points)-1].Prevented
+	if last < first {
+		t.Errorf("prevention decreased with strength: %v -> %v", first, last)
+	}
+	// Knee accessor agrees with index.
+	if pt, ok := res.Knee(); ok {
+		if res.Points[res.KneeIndex] != pt {
+			t.Error("Knee() disagrees with KneeIndex")
+		}
+	}
+}
+
+// TestPaperClaimsDiminishingReturns verifies at full scale that every
+// mechanism sweep exhibits a knee — the Section 5.3 observation that
+// stronger variants eventually stop paying.
+func TestPaperClaimsDiminishingReturns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale claim check skipped in short mode")
+	}
+	t.Parallel()
+
+	opts := core.Options{Replications: 3, GridPoints: 40}
+	for _, sweep := range []Sweep{
+		ScanReturnsSweep(FullScale),
+		MonitorReturnsSweep(FullScale),
+		ImmunizerReturnsSweep(FullScale),
+	} {
+		res, err := EvaluateReturns(sweep, 0.08, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := res.Knee(); !ok {
+			t.Errorf("%s: no point of diminishing returns found in sweep", sweep.Name)
+			for _, p := range res.Points {
+				t.Logf("  %-16s final=%7.1f prevented=%7.1f marginal=%7.1f",
+					p.Label, p.Final, p.Prevented, p.MarginalGain)
+			}
+		} else {
+			knee, _ := res.Knee()
+			t.Logf("%s: knee at %s (marginal gain %.1f of baseline %.1f)",
+				sweep.Name, knee.Label, knee.MarginalGain, res.Baseline)
+		}
+	}
+}

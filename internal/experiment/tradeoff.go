@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// Section 3.3 states the monitoring/blacklisting threshold "should ideally
+// be as high as possible to avoid false positive activation of the
+// response, but ... low enough to effectively restrict the dissemination of
+// infected messages". The paper never measures the false-positive side;
+// this study does, by adding background legitimate traffic and sweeping the
+// monitoring threshold against Virus 3.
+
+// TradeoffPoint is one threshold level of the monitoring trade-off study.
+type TradeoffPoint struct {
+	// Threshold is the message count per window that flags a phone.
+	Threshold int
+	// FinalInfected is the mean final infection count (containment; lower
+	// is better).
+	FinalInfected float64
+	// FalsePositives is the mean number of never-infected phones flagged
+	// per replication (lower is better).
+	FalsePositives float64
+	// TruePositives is the mean number of infected phones flagged.
+	TruePositives float64
+}
+
+// TradeoffConfig parameterizes the study.
+type TradeoffConfig struct {
+	// Scale shrinks the population for tests.
+	Scale Scale
+	// Thresholds are the monitor thresholds to sweep (per Window).
+	Thresholds []int
+	// Window is the monitoring observation window.
+	Window time.Duration
+	// ForcedWait is the penalty applied to flagged phones.
+	ForcedWait time.Duration
+	// LegitMeanInterval is the mean time between a user's legitimate
+	// messages.
+	LegitMeanInterval time.Duration
+}
+
+// DefaultTradeoffConfig sweeps thresholds 1..8 per 30 minutes against
+// moderately chatty users (mean 25 minutes between messages).
+func DefaultTradeoffConfig(s Scale) TradeoffConfig {
+	return TradeoffConfig{
+		Scale:             s,
+		Thresholds:        []int{1, 2, 4, 8},
+		Window:            30 * time.Minute,
+		ForcedWait:        15 * time.Minute,
+		LegitMeanInterval: 25 * time.Minute,
+	}
+}
+
+// RunMonitorTradeoff sweeps the monitoring threshold and measures both the
+// containment of Virus 3 and the false-positive flags caused by legitimate
+// traffic. Replications run serially so each monitor instance can be
+// paired with its network at the horizon.
+func RunMonitorTradeoff(tc TradeoffConfig, opts core.Options) ([]TradeoffPoint, error) {
+	if len(tc.Thresholds) == 0 {
+		return nil, fmt.Errorf("experiment: tradeoff needs thresholds")
+	}
+	if tc.Window <= 0 || tc.ForcedWait <= 0 || tc.LegitMeanInterval <= 0 {
+		return nil, fmt.Errorf("experiment: tradeoff timings must be positive")
+	}
+	opts = optsWithDefaults(opts)
+	points := make([]TradeoffPoint, 0, len(tc.Thresholds))
+	for _, threshold := range tc.Thresholds {
+		point := TradeoffPoint{Threshold: threshold}
+		for rep := 0; rep < opts.Replications; rep++ {
+			monitor := &response.Monitor{
+				Window:     tc.Window,
+				Threshold:  threshold,
+				ForcedWait: tc.ForcedWait,
+			}
+			cfg := tc.Scale.paperConfig(virus.Virus3())
+			cfg.Network.LegitSendInterval = rng.Exponential{MeanD: tc.LegitMeanInterval}
+			cfg.Responses = []mms.ResponseFactory{
+				func() mms.Response { return monitor },
+			}
+			falsePositives, truePositives := 0, 0
+			cfg.PostRun = func(net *mms.Network) {
+				for _, p := range monitor.FlaggedPhones() {
+					ph := net.Phone(p)
+					if ph == nil {
+						continue
+					}
+					if ph.State == mms.StateInfected {
+						truePositives++
+					} else {
+						falsePositives++
+					}
+				}
+			}
+			seed := opts.BaseSeed + uint64(rep)*0x9e3779b97f4a7c15
+			res, err := core.RunOnce(cfg, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: tradeoff threshold %d: %w", threshold, err)
+			}
+			point.FinalInfected += float64(res.FinalInfected)
+			point.FalsePositives += float64(falsePositives)
+			point.TruePositives += float64(truePositives)
+		}
+		n := float64(opts.Replications)
+		point.FinalInfected /= n
+		point.FalsePositives /= n
+		point.TruePositives /= n
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// optsWithDefaults mirrors core's defaulting for the serial runner.
+func optsWithDefaults(o core.Options) core.Options {
+	if o.Replications <= 0 {
+		o.Replications = 10
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}

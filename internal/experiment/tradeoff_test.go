@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestTradeoffValidation(t *testing.T) {
+	t.Parallel()
+
+	tc := DefaultTradeoffConfig(testScale)
+	tc.Thresholds = nil
+	if _, err := RunMonitorTradeoff(tc, testOpts); err == nil {
+		t.Error("empty thresholds accepted")
+	}
+	tc = DefaultTradeoffConfig(testScale)
+	tc.Window = 0
+	if _, err := RunMonitorTradeoff(tc, testOpts); err == nil {
+		t.Error("zero window accepted")
+	}
+	tc = DefaultTradeoffConfig(testScale)
+	tc.LegitMeanInterval = -time.Second
+	if _, err := RunMonitorTradeoff(tc, testOpts); err == nil {
+		t.Error("negative legit interval accepted")
+	}
+}
+
+func TestTradeoffScaled(t *testing.T) {
+	t.Parallel()
+
+	tc := DefaultTradeoffConfig(testScale)
+	points, err := RunMonitorTradeoff(tc, core.Options{Replications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(tc.Thresholds) {
+		t.Fatalf("got %d points, want %d", len(points), len(tc.Thresholds))
+	}
+	for _, p := range points {
+		if p.FinalInfected < 1 {
+			t.Errorf("threshold %d: no infections recorded", p.Threshold)
+		}
+		if p.FalsePositives < 0 || p.TruePositives < 0 {
+			t.Errorf("threshold %d: negative counts", p.Threshold)
+		}
+	}
+}
+
+// TestPaperClaimsMonitorTradeoff verifies the Section 3.3 trade-off at full
+// scale: raising the threshold cuts false positives (the paper's stated
+// reason to keep it high) while weakening containment (the reason to keep
+// it low).
+func TestPaperClaimsMonitorTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale claim check skipped in short mode")
+	}
+	t.Parallel()
+
+	tc := DefaultTradeoffConfig(FullScale)
+	tc.Thresholds = []int{1, 8}
+	points, err := RunMonitorTradeoff(tc, core.Options{Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, lax := points[0], points[1]
+	if strict.FalsePositives <= lax.FalsePositives {
+		t.Errorf("stricter threshold should raise false positives: %v (t=1) vs %v (t=8)",
+			strict.FalsePositives, lax.FalsePositives)
+	}
+	if strict.FinalInfected >= lax.FinalInfected {
+		t.Errorf("stricter threshold should contain more: %v (t=1) vs %v (t=8)",
+			strict.FinalInfected, lax.FinalInfected)
+	}
+	t.Logf("threshold 1: final=%.1f FP=%.1f TP=%.1f", strict.FinalInfected, strict.FalsePositives, strict.TruePositives)
+	t.Logf("threshold 8: final=%.1f FP=%.1f TP=%.1f", lax.FinalInfected, lax.FalsePositives, lax.TruePositives)
+}

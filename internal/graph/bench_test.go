@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkPowerLawPaperGraph measures generating the paper's 1,000-phone
+// contact topology.
+func BenchmarkPowerLawPaperGraph(b *testing.B) {
+	cfg := DefaultPowerLawConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerLaw(cfg, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerLawConfigurationModel measures the non-local variant.
+func BenchmarkPowerLawConfigurationModel(b *testing.B) {
+	cfg := DefaultPowerLawConfig()
+	cfg.Locality = false
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerLaw(cfg, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusteringCoefficient measures the O(sum d^2) clustering metric
+// on the paper graph.
+func BenchmarkClusteringCoefficient(b *testing.B) {
+	g, err := PowerLaw(DefaultPowerLawConfig(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = g.ClusteringCoefficient()
+	}
+	_ = sink
+}
+
+// BenchmarkHasEdge measures adjacency lookups on the paper graph.
+func BenchmarkHasEdge(b *testing.B) {
+	g, err := PowerLaw(DefaultPowerLawConfig(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = g.HasEdge(i%1000, (i*7)%1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadContactLists checks the contact-list parser never panics and that
+// anything it accepts satisfies the graph invariants.
+func FuzzReadContactLists(f *testing.F) {
+	f.Add("3\n0: 1\n1: 0\n2:\n")
+	f.Add("# comment\n2\n0: 1\n1: 0\n")
+	f.Add("1\n0:\n")
+	f.Add("2\n0: 1 1\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("5\n0: 4\n4: 0\n1:\n2:\n3:\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadContactLists(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph violates invariants: %v\ninput: %q", err, input)
+		}
+		// Accepted graphs must round-trip.
+		var sb strings.Builder
+		if err := g.WriteContactLists(&sb); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		back, err := ReadContactLists(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}

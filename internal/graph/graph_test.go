@@ -1,0 +1,596 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewGraph(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 0 {
+		t.Errorf("N=%d M=%d, want 5, 0", g.N(), g.M())
+	}
+	if _, err := NewGraph(-1); err == nil {
+		t.Error("negative node count accepted")
+	}
+}
+
+func TestAddEdgeAndInvariants(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 3}, {2, 3}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.M() != 4 {
+		t.Errorf("M = %d, want 4", g.M())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(3, 2) {
+		t.Error("edges not reciprocal via HasEdge")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("phantom edge reported")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgeRejections(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{3, 1, 4, 2} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbors unsorted: %v", nbrs)
+		}
+	}
+	cp := g.NeighborsCopy(0)
+	cp[0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Error("NeighborsCopy aliases internal storage")
+	}
+}
+
+func TestDegreesAndMeanDegree(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Degrees()
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Errorf("degree[%d] = %d, want %d", i, ds[i], want[i])
+		}
+	}
+	if g.MeanDegree() != 1 {
+		t.Errorf("MeanDegree = %v, want 1", g.MeanDegree())
+	}
+	empty, err := NewGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.MeanDegree() != 0 {
+		t.Error("empty graph mean degree not 0")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component {0,1,2}, component {3,4}, isolated {5}.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Errorf("component sizes %d,%d,%d, want 3,2,1",
+			len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if got := g.GiantComponentFraction(); got != 0.5 {
+		t.Errorf("GiantComponentFraction = %v, want 0.5", got)
+	}
+}
+
+func TestPowerLawGenerator(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultPowerLawConfig()
+	cfg.N = 500
+	cfg.MeanDegree = 40
+	g, err := PowerLaw(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+	mean := g.MeanDegree()
+	if mean < 34 || mean > 46 {
+		t.Errorf("mean degree %v, want ~40 +-15%%", mean)
+	}
+	st := g.ComputeDegreeStats()
+	if st.Min < cfg.MinDegree {
+		t.Errorf("min degree %d below floor %d", st.Min, cfg.MinDegree)
+	}
+	// Heavy tail: max degree should be well above the mean.
+	if float64(st.Max) < 1.5*mean {
+		t.Errorf("max degree %d not heavy-tailed relative to mean %v", st.Max, mean)
+	}
+	// Contact graph must be usable for epidemics: mostly one component.
+	if frac := g.GiantComponentFraction(); frac < 0.99 {
+		t.Errorf("giant component fraction %v, want >= 0.99", frac)
+	}
+}
+
+func TestPowerLawPaperPopulation(t *testing.T) {
+	t.Parallel()
+
+	g, err := PowerLaw(DefaultPowerLawConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", g.N())
+	}
+	mean := g.MeanDegree()
+	if mean < 72 || mean > 88 {
+		t.Errorf("mean contact-list size %v, want ~80 (paper)", mean)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultPowerLawConfig()
+	cfg.N = 200
+	cfg.MeanDegree = 20
+	a, err := PowerLaw(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLaw(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		an, bn := a.Neighbors(u), b.Neighbors(u)
+		if len(an) != len(bn) {
+			t.Fatalf("node %d adjacency differs", u)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("node %d adjacency differs at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	t.Parallel()
+
+	src := rng.New(1)
+	bad := []PowerLawConfig{
+		{N: 1, MeanDegree: 1, Exponent: 2},
+		{N: 10, MeanDegree: 0, Exponent: 2},
+		{N: 10, MeanDegree: 10, Exponent: 2},
+		{N: 10, MeanDegree: 3, Exponent: 1},
+		{N: 10, MeanDegree: 3, Exponent: 2, MinDegree: -1},
+		{N: 10, MeanDegree: 3, Exponent: 2, MaxDegree: -2},
+		{N: 10, MeanDegree: 3, Exponent: 2, MinDegree: 5, MaxDegree: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := PowerLaw(cfg, src); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := PowerLaw(DefaultPowerLawConfig(), nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	t.Parallel()
+
+	g, err := ErdosRenyi(200, 0.1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges = C(200,2)*0.1 = 1990.
+	if m := g.M(); m < 1700 || m > 2300 {
+		t.Errorf("edge count %d, want ~1990", m)
+	}
+	if _, err := ErdosRenyi(10, -0.1, rng.New(1)); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng.New(1)); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := ErdosRenyi(-1, 0.5, rng.New(1)); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := ErdosRenyi(10, 0.5, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	t.Parallel()
+
+	g, err := BarabasiAlbert(300, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := g.MeanDegree()
+	if mean < 6 || mean > 9 {
+		t.Errorf("BA mean degree %v, want ~8", mean)
+	}
+	if frac := g.GiantComponentFraction(); frac != 1 {
+		t.Errorf("BA graph not connected: %v", frac)
+	}
+	if _, err := BarabasiAlbert(3, 4, rng.New(1)); err == nil {
+		t.Error("n < m+1 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, rng.New(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 2, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	t.Parallel()
+
+	g, err := WattsStrogatz(100, 6, 0.1, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mean := g.MeanDegree(); mean < 5 || mean > 6.2 {
+		t.Errorf("WS mean degree %v, want ~6", mean)
+	}
+	if _, err := WattsStrogatz(10, 3, 0.1, rng.New(1)); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 10, 0.1, rng.New(1)); err == nil {
+		t.Error("k >= n accepted")
+	}
+	if _, err := WattsStrogatz(0, 2, 0.1, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, -1, rng.New(1)); err == nil {
+		t.Error("beta < 0 accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, 0.5, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	t.Parallel()
+
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := g.DegreeHistogram()
+	// degrees: 2,1,1,0 -> hist[0]=1, hist[1]=2, hist[2]=1
+	if h[0] != 1 || h[1] != 2 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	t.Parallel()
+
+	// Triangle: clustering = 1.
+	tri, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := tri.ClusteringCoefficient(); c != 1 {
+		t.Errorf("triangle clustering = %v, want 1", c)
+	}
+	// Path 0-1-2: no triangles.
+	path, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := path.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := path.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c := path.ClusteringCoefficient(); c != 0 {
+		t.Errorf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestMeanShortestPathSample(t *testing.T) {
+	t.Parallel()
+
+	// Path graph 0-1-2-3: BFS from all sources.
+	g, err := NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.MeanShortestPathSample(4)
+	// Sum over ordered pairs: (1+2+3)+(1+1+2)+(2+1+1)+(3+2+1)=20 over 12 pairs.
+	want := 20.0 / 12.0
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean path = %v, want %v", got, want)
+	}
+	empty, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.MeanShortestPathSample(3) != 0 {
+		t.Error("edgeless graph mean path not 0")
+	}
+}
+
+func TestDegreeAssortativityRegularGraph(t *testing.T) {
+	t.Parallel()
+
+	// A cycle is degree-regular: assortativity undefined (zero variance).
+	g, err := NewGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := g.AddEdge(i, (i+1)%5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := g.DegreeAssortativity(); !isNaN(r) {
+		t.Errorf("regular-graph assortativity = %v, want NaN", r)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+func TestContactListRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultPowerLawConfig()
+	cfg.N = 100
+	cfg.MeanDegree = 10
+	g, err := PowerLaw(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteContactLists(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadContactLists(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed size: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		a, b := g.Neighbors(u), back.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbor %d changed", u, i)
+			}
+		}
+	}
+}
+
+func TestReadContactListsErrors(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad count", "x\n"},
+		{"missing colon", "2\n0 1\n"},
+		{"bad node", "2\nq: 1\n"},
+		{"node out of range", "2\n5: 0\n"},
+		{"neighbor out of range", "2\n0: 9\n"},
+		{"self listing", "2\n0: 0\n"},
+		{"duplicate neighbor", "3\n0: 1 1\n1: 0 0\n"},
+		{"not reciprocal", "3\n0: 1\n1:\n2:\n"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := ReadContactLists(strings.NewReader(tt.input)); err == nil {
+				t.Errorf("input %q accepted", tt.input)
+			}
+		})
+	}
+}
+
+func TestReadContactListsRejectsHugeHeader(t *testing.T) {
+	t.Parallel()
+
+	in := "1000000000\n"
+	if _, err := ReadContactLists(strings.NewReader(in)); err == nil {
+		t.Error("billion-node header accepted")
+	}
+}
+
+func TestReadContactListsSkipsComments(t *testing.T) {
+	t.Parallel()
+
+	in := "# header\n\n3\n0: 1\n1: 0\n2:\n"
+	g, err := ReadContactLists(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Errorf("N=%d M=%d, want 3, 1", g.N(), g.M())
+	}
+}
+
+// Property: generated power-law graphs always satisfy the structural
+// invariants and have an even degree sum.
+func TestQuickPowerLawInvariants(t *testing.T) {
+	t.Parallel()
+
+	f := func(seed uint32, rawN, rawMean uint8) bool {
+		n := int(rawN)%150 + 20
+		mean := float64(int(rawMean)%10 + 2)
+		cfg := PowerLawConfig{N: n, MeanDegree: mean, Exponent: 2.3, MinDegree: 1}
+		g, err := PowerLaw(cfg, rng.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum%2 == 0 && sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reading back any generated graph reproduces it exactly.
+func TestQuickContactListRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	f := func(seed uint32) bool {
+		g, err := ErdosRenyi(40, 0.15, rng.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := g.WriteContactLists(&sb); err != nil {
+			return false
+		}
+		back, err := ReadContactLists(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			a, b := g.Neighbors(u), back.Neighbors(u)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

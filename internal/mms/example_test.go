@@ -1,0 +1,45 @@
+package mms_test
+
+import (
+	"fmt"
+
+	"repro/internal/mms"
+)
+
+// The paper's consent model: the probability that a user accepts the n-th
+// infected message they receive halves with each message.
+func ExampleAcceptanceProbability() {
+	for n := 1; n <= 4; n++ {
+		fmt.Printf("message %d: %.4f\n", n, mms.AcceptanceProbability(mms.PaperAcceptanceFactor, n))
+	}
+	// Output:
+	// message 1: 0.2340
+	// message 2: 0.1170
+	// message 3: 0.0585
+	// message 4: 0.0293
+}
+
+// With the paper's Acceptance Factor of 0.468, a user bombarded with
+// infected messages eventually accepts one with probability ~0.40 — which
+// pins every unconstrained epidemic's plateau at 800 x 0.40 = 320 phones.
+func ExampleEventualAcceptance() {
+	fmt.Printf("%.3f\n", mms.EventualAcceptance(mms.PaperAcceptanceFactor))
+	// Output: 0.400
+}
+
+// User education works by solving for the Acceptance Factor that yields a
+// target eventual acceptance; the paper studies 0.20 (half) and 0.10
+// (quarter).
+func ExampleSolveAcceptanceFactor() {
+	for _, target := range []float64{0.20, 0.10} {
+		af, err := mms.SolveAcceptanceFactor(target)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("eventual %.2f needs AF %.4f\n", target, af)
+	}
+	// Output:
+	// eventual 0.20 needs AF 0.2149
+	// eventual 0.10 needs AF 0.1035
+}

@@ -1,0 +1,119 @@
+package mms
+
+import "time"
+
+// FilterVerdict is a gateway filter's decision on one MMS message.
+type FilterVerdict uint8
+
+// Filter verdicts.
+const (
+	// VerdictDeliver lets the message proceed to its recipients.
+	VerdictDeliver FilterVerdict = iota + 1
+	// VerdictDrop discards the message (all recipients).
+	VerdictDrop
+)
+
+// Filter inspects an infected MMS in transit through the provider's MMS
+// gateway. The gateway virus scan and the gateway detection algorithm of the
+// paper are Filters. The gateway fans a multi-recipient message out into one
+// copy per recipient, and filters inspect each copy independently — so a
+// probabilistic detector catches some copies of a message and misses others,
+// exactly as per-delivery scanning hardware would.
+type Filter interface {
+	// Name identifies the filter in reports.
+	Name() string
+	// Inspect decides the fate of one recipient copy of a message sent by
+	// from (addressed to recipientCount phones in total) at the given time.
+	Inspect(from PhoneID, recipientCount int, now time.Duration) FilterVerdict
+}
+
+// Gateway is the provider's MMS gateway: every virus message transits it,
+// filters may drop messages, and the gateway is the point at which the
+// provider first *detects* the virus — after a configurable number of
+// infected messages have been observed, it fires detection callbacks that
+// response mechanisms use to start their activation timers.
+type Gateway struct {
+	detectThreshold int
+	observed        uint64
+	detectedAt      time.Duration
+	detected        bool
+	filters         []Filter
+	onDetected      []func(at time.Duration)
+
+	// counters for reports
+	droppedCopies   uint64
+	deliveredCopies uint64
+}
+
+// NewGateway returns a gateway that declares the virus "detectable" once
+// detectThreshold infected messages have transited (a non-positive threshold
+// means detection on the first message).
+func NewGateway(detectThreshold int) *Gateway {
+	if detectThreshold < 1 {
+		detectThreshold = 1
+	}
+	return &Gateway{detectThreshold: detectThreshold}
+}
+
+// AddFilter installs a message filter. Filters run in installation order;
+// the first VerdictDrop wins.
+func (g *Gateway) AddFilter(f Filter) {
+	if f != nil {
+		g.filters = append(g.filters, f)
+	}
+}
+
+// OnVirusDetected registers a callback fired (synchronously, once) when the
+// cumulative count of observed infected messages reaches the detection
+// threshold. Callbacks registered after detection fire immediately with the
+// recorded detection time.
+func (g *Gateway) OnVirusDetected(fn func(at time.Duration)) {
+	if fn == nil {
+		return
+	}
+	if g.detected {
+		fn(g.detectedAt)
+		return
+	}
+	g.onDetected = append(g.onDetected, fn)
+}
+
+// Detected reports whether and when the virus reached the detectable level.
+func (g *Gateway) Detected() (time.Duration, bool) {
+	return g.detectedAt, g.detected
+}
+
+// Observed returns the cumulative count of infected messages that have
+// transited the gateway.
+func (g *Gateway) Observed() uint64 { return g.observed }
+
+// Dropped returns the number of recipient copies discarded by filters.
+func (g *Gateway) Dropped() uint64 { return g.droppedCopies }
+
+// Observe records one infected message transiting the gateway (counted once
+// per message regardless of recipients) and fires detection callbacks when
+// the detectable level is reached.
+func (g *Gateway) Observe(now time.Duration) {
+	g.observed++
+	if !g.detected && g.observed >= uint64(g.detectThreshold) {
+		g.detected = true
+		g.detectedAt = now
+		for _, fn := range g.onDetected {
+			fn(now)
+		}
+		g.onDetected = nil
+	}
+}
+
+// InspectCopy runs the filters over one recipient copy. It returns true
+// when the copy should be delivered.
+func (g *Gateway) InspectCopy(from PhoneID, recipientCount int, now time.Duration) bool {
+	for _, f := range g.filters {
+		if f.Inspect(from, recipientCount, now) == VerdictDrop {
+			g.droppedCopies++
+			return false
+		}
+	}
+	g.deliveredCopies++
+	return true
+}

@@ -1,0 +1,496 @@
+package mms
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Config holds the network-level timing and consent parameters. The zero
+// value is not valid; start from DefaultConfig.
+type Config struct {
+	// DeliveryDelay is the gateway-to-inbox latency distribution.
+	DeliveryDelay rng.Dist
+	// ReadDelay is how long a new MMS waits in the inbox before the user
+	// reads it and decides about the attachment.
+	ReadDelay rng.Dist
+	// AcceptanceFactor is the consent model's AF (paper: 0.468).
+	AcceptanceFactor float64
+	// GatewayDetectThreshold is the number of infected messages the gateway
+	// must observe before the provider considers the virus detectable.
+	GatewayDetectThreshold int
+	// AllowDuplicateTrials disables duplicate suppression. By default a
+	// user grants at most one consent decision per sender per day: having
+	// just deleted an attachment, the user does not reconsider the
+	// identical attachment arriving minutes later from the same phone.
+	// This is what paces the multi-recipient Virus 2 flood onto the
+	// paper's multi-day step curve (see DESIGN.md); single-recipient,
+	// slow, or randomly-targeted viruses are unaffected.
+	AllowDuplicateTrials bool
+	// DeliveryLossProb drops each recipient copy independently with this
+	// probability, modeling carrier congestion. The paper assumes the
+	// infrastructure absorbs the virus traffic (loss 0); the knob exists
+	// for robustness studies of that assumption.
+	DeliveryLossProb float64
+	// LegitSendInterval, when non-nil, generates background legitimate
+	// MMS traffic: every phone sends a legitimate message at these
+	// intervals. The paper's model "does not track the delivery of
+	// legitimate messages", and neither does this one — legitimate sends
+	// are visible only to controllers implementing LegitTrafficObserver,
+	// making monitoring false positives measurable.
+	LegitSendInterval rng.Dist
+}
+
+// trialPeriod is the duplicate-suppression window: one consent trial per
+// sender per target per 24 hours.
+const trialPeriod = 24 * time.Hour
+
+// DefaultConfig returns the calibrated defaults documented in DESIGN.md:
+// delivery mean 30 s, read mean 30 min, the paper's acceptance factor, and
+// detectability after 10 observed infected messages.
+func DefaultConfig() Config {
+	return Config{
+		DeliveryDelay:          rng.Exponential{MeanD: 30 * time.Second},
+		ReadDelay:              rng.Exponential{MeanD: 30 * time.Minute},
+		AcceptanceFactor:       PaperAcceptanceFactor,
+		GatewayDetectThreshold: 10,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.DeliveryDelay == nil:
+		return errors.New("mms: nil delivery-delay distribution")
+	case c.ReadDelay == nil:
+		return errors.New("mms: nil read-delay distribution")
+	case c.AcceptanceFactor <= 0 || c.AcceptanceFactor > 2:
+		return fmt.Errorf("mms: acceptance factor %v outside (0,2]", c.AcceptanceFactor)
+	case c.DeliveryLossProb < 0 || c.DeliveryLossProb >= 1:
+		return fmt.Errorf("mms: delivery loss probability %v outside [0,1)", c.DeliveryLossProb)
+	}
+	return nil
+}
+
+// Metrics counts network activity for reports.
+type Metrics struct {
+	MessagesSent     uint64 // accepted for transit
+	MessagesDeferred uint64 // postponed by a controller
+	MessagesBlocked  uint64 // refused permanently by a controller
+	GatewayDropped   uint64 // discarded by gateway filters
+	DeliveryLost     uint64 // copies lost to carrier congestion
+	Deliveries       uint64 // recipient inbox arrivals
+	Reads            uint64 // user read events
+	Acceptances      uint64 // user accepted the attachment
+	Infections       uint64 // acceptances that infected a vulnerable phone
+	Patched          uint64 // phones patched
+	LegitSent        uint64 // background legitimate messages generated
+}
+
+// Network is the simulated mobile-phone system: phones, gateway, user
+// behaviour, and response-mechanism interception points, all driven by one
+// discrete-event simulation.
+type Network struct {
+	sim     *des.Simulation
+	gateway *Gateway
+	cfg     Config
+
+	phones      []Phone
+	userSrc     []*rng.Source // per-phone user-behaviour stream
+	netSrc      *rng.Source   // delivery jitter stream
+	controllers []SendController
+
+	onInfection []func(id PhoneID, at time.Duration)
+	onPatched   []func(id PhoneID, at time.Duration)
+
+	infected int
+	metrics  Metrics
+	// trials records (sender, target, day) consent decisions already
+	// granted, for duplicate suppression.
+	trials map[uint64]struct{}
+	// infector records who infected each phone (NoInfector for seeds),
+	// forming the infection tree used for R0 and generation analysis.
+	infector []PhoneID
+}
+
+// NoInfector marks a phone infected by seeding rather than by a message.
+const NoInfector PhoneID = -1
+
+// New builds a network over the contact graph g. vulnerable[i] marks phone i
+// as susceptible to the virus (the paper marks 800 of 1,000). src seeds all
+// user-behaviour randomness via per-phone streams.
+func New(g *graph.Graph, vulnerable []bool, cfg Config, sim *des.Simulation, src *rng.Source) (*Network, error) {
+	if g == nil {
+		return nil, errors.New("mms: nil contact graph")
+	}
+	if sim == nil {
+		return nil, errors.New("mms: nil simulation")
+	}
+	if src == nil {
+		return nil, errors.New("mms: nil rng source")
+	}
+	if len(vulnerable) != g.N() {
+		return nil, fmt.Errorf("mms: vulnerability mask length %d != population %d", len(vulnerable), g.N())
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	net := &Network{
+		sim:      sim,
+		gateway:  NewGateway(cfg.GatewayDetectThreshold),
+		cfg:      cfg,
+		phones:   make([]Phone, n),
+		userSrc:  make([]*rng.Source, n),
+		netSrc:   src.Stream(0x6e6574), // "net"
+		trials:   make(map[uint64]struct{}),
+		infector: make([]PhoneID, n),
+	}
+	for i := range net.infector {
+		net.infector[i] = NoInfector
+	}
+	for i := 0; i < n; i++ {
+		st := StateNotVulnerable
+		if vulnerable[i] {
+			st = StateSusceptible
+		}
+		net.phones[i] = Phone{
+			ID:       PhoneID(i),
+			State:    st,
+			Contacts: g.Neighbors(i),
+		}
+		net.userSrc[i] = src.Stream(0x757372<<16 | uint64(i)) // "usr" | id
+	}
+	if cfg.LegitSendInterval != nil {
+		for i := 0; i < n; i++ {
+			net.scheduleLegitSend(PhoneID(i))
+		}
+	}
+	return net, nil
+}
+
+// scheduleLegitSend arms phone id's next background legitimate message.
+// Delays are floored at one second so a degenerate interval distribution
+// cannot wedge the simulation in a zero-delay event loop.
+func (n *Network) scheduleLegitSend(id PhoneID) {
+	delay := n.cfg.LegitSendInterval.Sample(n.userSrc[id])
+	if delay < time.Second {
+		delay = time.Second
+	}
+	if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
+		n.metrics.LegitSent++
+		now := n.sim.Now()
+		for _, c := range n.controllers {
+			if obs, ok := c.(LegitTrafficObserver); ok {
+				obs.OnLegitSent(id, now)
+			}
+		}
+		n.scheduleLegitSend(id)
+	}); err != nil {
+		return
+	}
+}
+
+// Sim returns the underlying simulation (responses use it for timers).
+func (n *Network) Sim() *des.Simulation { return n.sim }
+
+// Gateway returns the provider's MMS gateway.
+func (n *Network) Gateway() *Gateway { return n.gateway }
+
+// N returns the population size.
+func (n *Network) N() int { return len(n.phones) }
+
+// Phone returns the phone with the given id, or nil if out of range.
+func (n *Network) Phone(id PhoneID) *Phone {
+	if id < 0 || int(id) >= len(n.phones) {
+		return nil
+	}
+	return &n.phones[id]
+}
+
+// Metrics returns a snapshot of the network counters.
+func (n *Network) Metrics() Metrics { return n.metrics }
+
+// InfectedCount returns the current number of infected phones.
+func (n *Network) InfectedCount() int { return n.infected }
+
+// SusceptibleCount returns the number of phones still vulnerable.
+func (n *Network) SusceptibleCount() int {
+	c := 0
+	for i := range n.phones {
+		if n.phones[i].Vulnerable() {
+			c++
+		}
+	}
+	return c
+}
+
+// SetAcceptanceFactor changes the consent model's AF; the user-education
+// response applies its reduced acceptance probability through this.
+func (n *Network) SetAcceptanceFactor(af float64) error {
+	if af <= 0 || af > 2 {
+		return fmt.Errorf("mms: acceptance factor %v outside (0,2]", af)
+	}
+	n.cfg.AcceptanceFactor = af
+	return nil
+}
+
+// AcceptanceFactor returns the consent model's current AF.
+func (n *Network) AcceptanceFactor() float64 { return n.cfg.AcceptanceFactor }
+
+// AddController installs a sender-side controller.
+func (n *Network) AddController(c SendController) {
+	if c != nil {
+		n.controllers = append(n.controllers, c)
+	}
+}
+
+// OnInfection registers a callback fired whenever a phone becomes infected
+// (including seed infections).
+func (n *Network) OnInfection(fn func(id PhoneID, at time.Duration)) {
+	if fn != nil {
+		n.onInfection = append(n.onInfection, fn)
+	}
+}
+
+// OnPatched registers a callback fired whenever a phone is patched.
+func (n *Network) OnPatched(fn func(id PhoneID, at time.Duration)) {
+	if fn != nil {
+		n.onPatched = append(n.onPatched, fn)
+	}
+}
+
+// SeedInfection infects the phone immediately, bypassing the consent model;
+// it models the outbreak's patient zero. It fails if the phone cannot be
+// infected.
+func (n *Network) SeedInfection(id PhoneID) error {
+	p := n.Phone(id)
+	if p == nil {
+		return fmt.Errorf("mms: seed phone %d out of range", id)
+	}
+	if !p.Vulnerable() {
+		return fmt.Errorf("mms: seed phone %d is %v and cannot be infected", id, p.State)
+	}
+	n.infect(p)
+	return nil
+}
+
+func (n *Network) infect(p *Phone) {
+	p.State = StateInfected
+	p.InfectedAt = n.sim.Now()
+	n.infected++
+	n.metrics.Infections++
+	for _, fn := range n.onInfection {
+		fn(p.ID, p.InfectedAt)
+	}
+}
+
+// Patch installs the immunization patch on a phone: a susceptible phone
+// becomes immune; an infected phone keeps its state but stops disseminating
+// (listeners such as the virus engine observe OnPatched and cease sending).
+func (n *Network) Patch(id PhoneID) error {
+	p := n.Phone(id)
+	if p == nil {
+		return fmt.Errorf("mms: patch phone %d out of range", id)
+	}
+	if p.Patched {
+		return nil
+	}
+	p.Patched = true
+	if p.State == StateSusceptible {
+		p.State = StateImmune
+	}
+	n.metrics.Patched++
+	for _, fn := range n.onPatched {
+		fn(p.ID, n.sim.Now())
+	}
+	return nil
+}
+
+// Send submits one infected MMS from the given phone to targets. The send
+// controllers are consulted first; if they allow it, the message transits
+// the gateway (which may drop it) and deliveries are scheduled for each
+// valid target.
+func (n *Network) Send(from PhoneID, targets []Target) (SendResult, error) {
+	src := n.Phone(from)
+	if src == nil {
+		return SendResult{}, fmt.Errorf("mms: sender %d out of range", from)
+	}
+	now := n.sim.Now()
+	for _, c := range n.controllers {
+		v := c.OnSendAttempt(from, now)
+		switch v.Action {
+		case ActionBlock:
+			n.metrics.MessagesBlocked++
+			return SendResult{Outcome: OutcomeBlocked}, nil
+		case ActionDefer:
+			n.metrics.MessagesDeferred++
+			retry := v.RetryAt
+			if retry <= now {
+				retry = now + time.Second
+			}
+			return SendResult{Outcome: OutcomeDeferred, RetryAt: retry}, nil
+		case ActionAllow:
+			// consult remaining controllers
+		default:
+			return SendResult{}, fmt.Errorf("mms: controller %q returned invalid action %d", c.Name(), v.Action)
+		}
+	}
+	n.metrics.MessagesSent++
+	for _, c := range n.controllers {
+		c.OnSent(from, now, len(targets))
+	}
+	n.gateway.Observe(now)
+	delivered := 0
+	droppedCopies := 0
+	for _, t := range targets {
+		if !t.Valid {
+			continue
+		}
+		if t.ID == from || n.Phone(t.ID) == nil {
+			continue
+		}
+		// The gateway fans out one copy per recipient; filters act per copy.
+		if !n.gateway.InspectCopy(from, len(targets), now) {
+			droppedCopies++
+			n.metrics.GatewayDropped++
+			continue
+		}
+		// Carrier congestion loses copies independently.
+		if n.cfg.DeliveryLossProb > 0 && n.netSrc.Bool(n.cfg.DeliveryLossProb) {
+			n.metrics.DeliveryLost++
+			continue
+		}
+		target := t.ID
+		delivered++
+		n.metrics.Deliveries++
+		// Users who have already received readCap infected messages have an
+		// acceptance probability below the generator's resolution (AF/2^64
+		// < 2^-53); their reads can no longer change any state, so the
+		// event is elided. This keeps the event count bounded under the
+		// multi-recipient Virus 2 flood without altering the dynamics.
+		if n.phones[target].ReceivedInfected >= readCap {
+			continue
+		}
+		// Duplicate suppression: at most one consent trial per sender per
+		// target per day (Config.AllowDuplicateTrials disables this).
+		if !n.cfg.AllowDuplicateTrials {
+			key := trialKey(from, target, now)
+			if _, dup := n.trials[key]; dup {
+				continue
+			}
+			n.trials[key] = struct{}{}
+		}
+		// Inboxes need no explicit queue: each message independently
+		// reaches the user after delivery latency plus read delay.
+		delay := n.cfg.DeliveryDelay.Sample(n.netSrc) + n.cfg.ReadDelay.Sample(n.userSrc[target])
+		if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
+			n.read(target, from)
+		}); err != nil {
+			return SendResult{}, fmt.Errorf("mms: schedule delivery: %w", err)
+		}
+	}
+	return SendResult{
+		Outcome:        OutcomeSent,
+		Delivered:      delivered,
+		GatewayDropped: droppedCopies > 0 && delivered == 0,
+	}, nil
+}
+
+// readCap bounds per-phone read events; see Send.
+const readCap = 64
+
+// trialKey packs (sender, target, day) into a map key for duplicate
+// suppression. Populations and day counts stay far below 2^21.
+func trialKey(from, target PhoneID, now time.Duration) uint64 {
+	day := uint64(now / trialPeriod)
+	return uint64(from)<<42 | uint64(target)<<21 | day
+}
+
+// read models the user noticing the message and deciding about the
+// attachment with probability AF/2^n.
+func (n *Network) read(id, from PhoneID) {
+	p := &n.phones[id]
+	p.ReceivedInfected++
+	n.metrics.Reads++
+	prob := AcceptanceProbability(n.cfg.AcceptanceFactor, p.ReceivedInfected)
+	if !n.userSrc[id].Bool(prob) {
+		return
+	}
+	n.metrics.Acceptances++
+	if p.Vulnerable() {
+		n.infector[id] = from
+		n.infect(p)
+	}
+}
+
+// Infector returns who infected phone id (NoInfector for seeds or phones
+// never infected).
+func (n *Network) Infector(id PhoneID) PhoneID {
+	if id < 0 || int(id) >= len(n.infector) {
+		return NoInfector
+	}
+	return n.infector[id]
+}
+
+// InfectionTree summarizes the who-infected-whom tree of a run.
+type InfectionTree struct {
+	// Seeds are the phones infected without a parent.
+	Seeds []PhoneID
+	// Children maps each infector to the phones it infected.
+	Children map[PhoneID][]PhoneID
+	// MaxDepth is the longest transmission chain (seeds are depth 0).
+	MaxDepth int
+	// MeanOffspring is the mean number of secondary infections caused by
+	// phones that completed their campaigns (an empirical R0 proxy).
+	MeanOffspring float64
+}
+
+// BuildInfectionTree assembles the transmission tree at the current time.
+func (n *Network) BuildInfectionTree() InfectionTree {
+	tree := InfectionTree{Children: make(map[PhoneID][]PhoneID)}
+	depth := make(map[PhoneID]int)
+	infectedCount := 0
+	for i := range n.phones {
+		if n.phones[i].State != StateInfected {
+			continue
+		}
+		infectedCount++
+		id := PhoneID(i)
+		parent := n.infector[i]
+		if parent == NoInfector {
+			tree.Seeds = append(tree.Seeds, id)
+		} else {
+			tree.Children[parent] = append(tree.Children[parent], id)
+		}
+	}
+	// Depths via repeated relaxation (trees are shallow; infection order
+	// guarantees parents are infected before children, but ids are not
+	// ordered, so walk from seeds).
+	queue := append([]PhoneID(nil), tree.Seeds...)
+	for _, s := range tree.Seeds {
+		depth[s] = 0
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, c := range tree.Children[u] {
+			depth[c] = depth[u] + 1
+			if depth[c] > tree.MaxDepth {
+				tree.MaxDepth = depth[c]
+			}
+			queue = append(queue, c)
+		}
+	}
+	if infectedCount > 0 {
+		secondary := 0
+		for _, kids := range tree.Children {
+			secondary += len(kids)
+		}
+		tree.MeanOffspring = float64(secondary) / float64(infectedCount)
+	}
+	return tree
+}

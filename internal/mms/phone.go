@@ -1,0 +1,86 @@
+// Package mms models the mobile-phone system in which the viruses of the
+// paper operate: a population of phones with reciprocal contact lists, the
+// service provider's MMS gateway through which every message is routed, the
+// per-user behaviour of reading messages and consenting to attachments, and
+// the interception points at which response mechanisms act (gateway message
+// filters, sender-side send controllers, and phone patching).
+//
+// The package simulates only the virus-generated MMS traffic, exactly as the
+// paper's model does; legitimate traffic is represented implicitly through
+// the timing parameters of the stealthy virus scenario.
+package mms
+
+import "time"
+
+// PhoneID identifies a phone in the population; ids are dense in [0, N).
+type PhoneID int32
+
+// State is a phone's infection state.
+type State uint8
+
+// Phone states. A phone starts Susceptible or NotVulnerable; accepting an
+// infected attachment moves a susceptible phone to Infected; an immunization
+// patch moves a susceptible phone to Immune (an infected phone stays
+// Infected but its Patched flag stops further dissemination).
+const (
+	StateSusceptible State = iota + 1
+	StateInfected
+	StateImmune
+	StateNotVulnerable
+)
+
+// String renders the state for reports.
+func (s State) String() string {
+	switch s {
+	case StateSusceptible:
+		return "susceptible"
+	case StateInfected:
+		return "infected"
+	case StateImmune:
+		return "immune"
+	case StateNotVulnerable:
+		return "not-vulnerable"
+	default:
+		return "unknown"
+	}
+}
+
+// Phone is one phone submodel: identity, contact list, infection state, and
+// the per-user counters that drive the consent model.
+type Phone struct {
+	// ID is the phone's identifier.
+	ID PhoneID
+	// State is the current infection state.
+	State State
+	// Contacts is the sorted, reciprocal contact list (graph adjacency).
+	Contacts []int32
+	// ReceivedInfected counts infected messages this phone's user has read;
+	// it is the n in the paper's acceptance probability AF/2^n.
+	ReceivedInfected int
+	// Patched reports whether the immunization patch is installed.
+	Patched bool
+	// InfectedAt is the infection time (valid when State == StateInfected).
+	InfectedAt time.Duration
+}
+
+// Vulnerable reports whether the phone can still be infected.
+func (p *Phone) Vulnerable() bool {
+	return p.State == StateSusceptible && !p.Patched
+}
+
+// Target is one addressee of an MMS message. Viruses that dial random
+// numbers produce invalid targets (numbers not assigned to any phone), which
+// still transit the gateway and count toward provider-side message counts
+// but are never delivered.
+type Target struct {
+	// ID is the target phone (meaningful only when Valid).
+	ID PhoneID
+	// Valid reports whether the dialed number belongs to a real phone.
+	Valid bool
+}
+
+// ValidTarget returns a deliverable target.
+func ValidTarget(id PhoneID) Target { return Target{ID: id, Valid: true} }
+
+// InvalidTarget returns a target representing an unassigned number.
+func InvalidTarget() Target { return Target{} }

@@ -1,0 +1,21 @@
+package mms
+
+import "repro/internal/rng"
+
+// Response is a virus response mechanism that attaches to a network run:
+// gateway filters, send controllers, consent changes, or patch schedulers.
+// Implementations live in internal/response; the interface lives here so the
+// core runner can wire mechanisms without depending on their package.
+type Response interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// Attach installs the mechanism into the network. src provides the
+	// mechanism's private randomness (detector coin flips, deployment
+	// jitter); Attach is called once per replication before the simulation
+	// starts.
+	Attach(n *Network, src *rng.Source) error
+}
+
+// ResponseFactory builds a fresh Response per replication, so mechanisms can
+// keep per-run state.
+type ResponseFactory func() Response

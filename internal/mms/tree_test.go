@@ -1,0 +1,97 @@
+package mms
+
+import "testing"
+
+func TestInfectionTreeSeedOnly(t *testing.T) {
+	t.Parallel()
+
+	net, _ := buildNet(t, 3, instantConfig())
+	if err := net.SeedInfection(0); err != nil {
+		t.Fatal(err)
+	}
+	tree := net.BuildInfectionTree()
+	if len(tree.Seeds) != 1 || tree.Seeds[0] != 0 {
+		t.Errorf("seeds = %v, want [0]", tree.Seeds)
+	}
+	if tree.MaxDepth != 0 {
+		t.Errorf("depth = %d, want 0", tree.MaxDepth)
+	}
+	if tree.MeanOffspring != 0 {
+		t.Errorf("mean offspring = %v, want 0", tree.MeanOffspring)
+	}
+	if net.Infector(0) != NoInfector {
+		t.Error("seed has an infector")
+	}
+}
+
+func TestInfectionTreeChain(t *testing.T) {
+	t.Parallel()
+
+	// Path 0-1-2 with AF=2: every first message infects. Infect 0, have it
+	// message 1, then 1 message 2: a chain of depth 2.
+	net, sim := buildNet(t, 3, instantConfig())
+	if err := net.SeedInfection(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Send(0, []Target{ValidTarget(1)}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if _, err := net.Send(1, []Target{ValidTarget(2)}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	if got := net.Infector(1); got != 0 {
+		t.Errorf("infector of 1 = %d, want 0", got)
+	}
+	if got := net.Infector(2); got != 1 {
+		t.Errorf("infector of 2 = %d, want 1", got)
+	}
+	tree := net.BuildInfectionTree()
+	if tree.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", tree.MaxDepth)
+	}
+	// 3 infected, 2 secondary infections -> mean offspring 2/3.
+	if diff := tree.MeanOffspring - 2.0/3.0; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mean offspring = %v, want 2/3", tree.MeanOffspring)
+	}
+	if kids := tree.Children[0]; len(kids) != 1 || kids[0] != 1 {
+		t.Errorf("children of 0 = %v", kids)
+	}
+}
+
+func TestInfectorOutOfRange(t *testing.T) {
+	t.Parallel()
+
+	net, _ := buildNet(t, 2, instantConfig())
+	if net.Infector(-5) != NoInfector || net.Infector(99) != NoInfector {
+		t.Error("out-of-range infector not NoInfector")
+	}
+}
+
+func TestInfectionTreeFanOut(t *testing.T) {
+	t.Parallel()
+
+	// Star: 0 infects 1..4 directly.
+	g, sim := buildNet(t, 5, instantConfig())
+	if err := g.SeedInfection(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if _, err := g.Send(0, []Target{ValidTarget(PhoneID(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	tree := g.BuildInfectionTree()
+	if len(tree.Children[0]) != 4 {
+		t.Errorf("children of 0 = %v, want 4", tree.Children[0])
+	}
+	if tree.MaxDepth != 1 {
+		t.Errorf("max depth = %d, want 1", tree.MaxDepth)
+	}
+	if diff := tree.MeanOffspring - 4.0/5.0; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mean offspring = %v, want 0.8", tree.MeanOffspring)
+	}
+}

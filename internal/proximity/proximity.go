@@ -1,0 +1,324 @@
+// Package proximity implements the paper's stated extension (Section 6):
+// viruses that spread over the Bluetooth interface rather than MMS. Phones
+// move through a square arena under a random-waypoint mobility model; when
+// an infected phone dwells within radio range of a susceptible phone, it
+// attempts a transfer, and the familiar consent model (accept probability
+// AF/2^n) gates infection.
+//
+// Unlike the MMS model there is no network infrastructure: no gateway, no
+// provider-side responses. The package exists to compare infrastructure-free
+// propagation against MMS propagation and to exercise the same consent
+// mathematics on a different contact process.
+package proximity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/des"
+	"repro/internal/mms"
+	"repro/internal/rng"
+)
+
+// Config parameterizes the Bluetooth spread model.
+type Config struct {
+	// Population is the number of phones.
+	Population int
+	// SusceptibleFraction is the vulnerable share (as in the MMS model).
+	SusceptibleFraction float64
+	// ArenaSize is the side length of the square arena in meters.
+	ArenaSize float64
+	// Range is the Bluetooth radio range in meters (typical: 10).
+	Range float64
+	// SpeedMin and SpeedMax bound waypoint movement speeds (m/s).
+	SpeedMin, SpeedMax float64
+	// PauseMean is the mean pause at each waypoint.
+	PauseMean time.Duration
+	// ScanInterval is how often an infected phone scans for neighbors.
+	ScanInterval time.Duration
+	// TransferTime is how long a Bluetooth push takes once a target is
+	// found; the pair must remain in range.
+	TransferTime time.Duration
+	// AcceptanceFactor is the consent model's AF (paper: 0.468).
+	AcceptanceFactor float64
+	// Horizon is the simulated duration.
+	Horizon time.Duration
+
+	// The MMS study's provider-side mechanisms have no Bluetooth
+	// equivalent (there is no gateway), so only device-side defenses
+	// apply — exactly the asymmetry the paper's future-work section asks
+	// about.
+
+	// EducationAcceptance, when nonzero, replaces the acceptance factor
+	// with one whose eventual acceptance equals this value (user
+	// education).
+	EducationAcceptance float64
+	// PatchDevelopment, when nonzero, starts an immunization campaign:
+	// after the first PatchDetectCount infections, a patch is developed
+	// for PatchDevelopment and then deployed uniformly over
+	// PatchDeployment; patched phones become immune (or stop transferring
+	// if already infected).
+	PatchDevelopment time.Duration
+	// PatchDeployment is the deployment window (see PatchDevelopment).
+	PatchDeployment time.Duration
+	// PatchDetectCount is the infection count that triggers patch
+	// development (default 3 when a campaign is configured).
+	PatchDetectCount int
+}
+
+// DefaultConfig returns a laptop-scale Bluetooth scenario: 200 phones in a
+// 500 m square (a dense urban plaza), 10 m radio range.
+func DefaultConfig() Config {
+	return Config{
+		Population:          200,
+		SusceptibleFraction: 0.8,
+		ArenaSize:           500,
+		Range:               10,
+		SpeedMin:            0.5,
+		SpeedMax:            2.0,
+		PauseMean:           2 * time.Minute,
+		ScanInterval:        time.Minute,
+		TransferTime:        30 * time.Second,
+		AcceptanceFactor:    mms.PaperAcceptanceFactor,
+		Horizon:             48 * time.Hour,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Population < 2:
+		return errors.New("proximity: population must be at least 2")
+	case c.SusceptibleFraction <= 0 || c.SusceptibleFraction > 1:
+		return fmt.Errorf("proximity: susceptible fraction %v outside (0,1]", c.SusceptibleFraction)
+	case c.ArenaSize <= 0:
+		return errors.New("proximity: arena size must be positive")
+	case c.Range <= 0:
+		return errors.New("proximity: radio range must be positive")
+	case c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin:
+		return fmt.Errorf("proximity: invalid speed range [%v,%v]", c.SpeedMin, c.SpeedMax)
+	case c.ScanInterval <= 0:
+		return errors.New("proximity: scan interval must be positive")
+	case c.TransferTime < 0:
+		return errors.New("proximity: negative transfer time")
+	case c.AcceptanceFactor <= 0 || c.AcceptanceFactor > 2:
+		return fmt.Errorf("proximity: acceptance factor %v outside (0,2]", c.AcceptanceFactor)
+	case c.Horizon <= 0:
+		return errors.New("proximity: horizon must be positive")
+	case c.EducationAcceptance < 0 || c.EducationAcceptance >= 1:
+		return fmt.Errorf("proximity: education acceptance %v outside [0,1)", c.EducationAcceptance)
+	case c.PatchDevelopment < 0 || c.PatchDeployment < 0:
+		return errors.New("proximity: negative patch timings")
+	case c.PatchDetectCount < 0:
+		return errors.New("proximity: negative patch detect count")
+	}
+	return nil
+}
+
+// phone is one mobile device.
+type phone struct {
+	state    mms.State
+	received int // infected pushes received, the consent model's n
+	patched  bool
+
+	// random-waypoint state: the phone moves from (x0,y0) at time t0
+	// toward (x1,y1), arriving at t1, then pauses until tMove.
+	x0, y0, x1, y1 float64
+	t0, t1         time.Duration
+	src            *rng.Source
+}
+
+// pos returns the phone's position at time t.
+func (p *phone) pos(t time.Duration) (x, y float64) {
+	if t >= p.t1 {
+		return p.x1, p.y1
+	}
+	if t <= p.t0 || p.t1 == p.t0 {
+		return p.x0, p.y0
+	}
+	frac := float64(t-p.t0) / float64(p.t1-p.t0)
+	return p.x0 + frac*(p.x1-p.x0), p.y0 + frac*(p.y1-p.y0)
+}
+
+// Result is one replication's outcome.
+type Result struct {
+	// Infections is the infected-count step curve.
+	Infections *curve.Curve
+	// FinalInfected is the infected count at the horizon.
+	FinalInfected int
+	// Encounters counts in-range scan hits.
+	Encounters uint64
+	// Transfers counts completed Bluetooth pushes (pre-consent).
+	Transfers uint64
+	// Patched counts phones reached by the immunization campaign.
+	Patched int
+}
+
+// Run executes one replication with the given seed.
+func Run(cfg Config, seed uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	sim := des.New()
+	phones := make([]phone, cfg.Population)
+	maskSrc := root.Stream(1)
+	perm := maskSrc.Perm(cfg.Population)
+	k := int(cfg.SusceptibleFraction*float64(cfg.Population) + 0.5)
+	for i := range phones {
+		phones[i].state = mms.StateNotVulnerable
+		phones[i].src = root.Stream(0x6274<<32 | uint64(i)) // "bt" | id
+		phones[i].x0 = phones[i].src.Uniform(0, cfg.ArenaSize)
+		phones[i].y0 = phones[i].src.Uniform(0, cfg.ArenaSize)
+		phones[i].x1, phones[i].y1 = phones[i].x0, phones[i].y0
+	}
+	for i := 0; i < k; i++ {
+		phones[perm[i]].state = mms.StateSusceptible
+	}
+
+	acceptanceFactor := cfg.AcceptanceFactor
+	if cfg.EducationAcceptance > 0 {
+		af, err := mms.SolveAcceptanceFactor(cfg.EducationAcceptance)
+		if err != nil {
+			return nil, fmt.Errorf("proximity: education: %w", err)
+		}
+		acceptanceFactor = af
+	}
+
+	res := &Result{Infections: curve.New(0)}
+	infected := 0
+	patchSrc := root.Stream(2)
+	patchStarted := false
+	detectCount := cfg.PatchDetectCount
+	if detectCount == 0 {
+		detectCount = 3
+	}
+	startPatching := func() {
+		for j := range phones {
+			j := j
+			offset := cfg.PatchDevelopment
+			if cfg.PatchDeployment > 0 {
+				offset += time.Duration(patchSrc.Uniform(0, float64(cfg.PatchDeployment)))
+			}
+			if _, err := sim.ScheduleAfter(offset, func(*des.Simulation) {
+				if !phones[j].patched {
+					phones[j].patched = true
+					res.Patched++
+					if phones[j].state == mms.StateSusceptible {
+						phones[j].state = mms.StateImmune
+					}
+				}
+			}); err != nil {
+				return
+			}
+		}
+	}
+	infect := func(i int, at time.Duration) {
+		phones[i].state = mms.StateInfected
+		infected++
+		// Infection times are non-decreasing within a run.
+		_ = res.Infections.Append(at, float64(infected))
+		if !patchStarted && cfg.PatchDevelopment > 0 && infected >= detectCount {
+			patchStarted = true
+			startPatching()
+		}
+	}
+
+	// Waypoint movement: each phone perpetually picks a destination,
+	// travels, pauses, repeats.
+	var scheduleWaypoint func(i int)
+	scheduleWaypoint = func(i int) {
+		p := &phones[i]
+		now := sim.Now()
+		pause := time.Duration(p.src.Exp(float64(cfg.PauseMean)))
+		depart := now + pause
+		destX := p.src.Uniform(0, cfg.ArenaSize)
+		destY := p.src.Uniform(0, cfg.ArenaSize)
+		speed := p.src.Uniform(cfg.SpeedMin, cfg.SpeedMax)
+		dist := math.Hypot(destX-p.x0, destY-p.y0)
+		travel := time.Duration(dist / speed * float64(time.Second))
+		p.x1, p.y1 = destX, destY
+		p.t0, p.t1 = depart, depart+travel
+		if _, err := sim.ScheduleAt(p.t1, func(*des.Simulation) {
+			p.x0, p.y0 = p.x1, p.y1
+			scheduleWaypoint(i)
+		}); err != nil {
+			return
+		}
+	}
+	for i := range phones {
+		scheduleWaypoint(i)
+	}
+
+	// Infected phones scan periodically and push to one in-range target.
+	rangeSq := cfg.Range * cfg.Range
+	var scan func(i int)
+	scan = func(i int) {
+		p := &phones[i]
+		if p.patched {
+			return // the patch halts further dissemination
+		}
+		now := sim.Now()
+		x, y := p.pos(now)
+		for j := range phones {
+			if j == i || phones[j].state != mms.StateSusceptible {
+				continue
+			}
+			tx, ty := phones[j].pos(now)
+			dx, dy := tx-x, ty-y
+			if dx*dx+dy*dy > rangeSq {
+				continue
+			}
+			res.Encounters++
+			target := j
+			if _, err := sim.ScheduleAfter(cfg.TransferTime, func(*des.Simulation) {
+				// The transfer completes only if still in range.
+				end := sim.Now()
+				ax, ay := phones[i].pos(end)
+				bx, by := phones[target].pos(end)
+				ddx, ddy := bx-ax, by-ay
+				if ddx*ddx+ddy*ddy > rangeSq {
+					return
+				}
+				res.Transfers++
+				tp := &phones[target]
+				if tp.state != mms.StateSusceptible || tp.patched {
+					return
+				}
+				tp.received++
+				if tp.src.Bool(mms.AcceptanceProbability(acceptanceFactor, tp.received)) {
+					infect(target, end)
+					scheduleScanLoop(sim, cfg, scan, target)
+				}
+			}); err != nil {
+				return
+			}
+			break // one push per scan
+		}
+		if _, err := sim.ScheduleAfter(cfg.ScanInterval, func(*des.Simulation) {
+			scan(i)
+		}); err != nil {
+			return
+		}
+	}
+
+	// Seed: the first susceptible phone.
+	infect(perm[0], 0)
+	scheduleScanLoop(sim, cfg, scan, perm[0])
+
+	sim.RunUntil(cfg.Horizon)
+	res.FinalInfected = infected
+	return res, nil
+}
+
+// scheduleScanLoop starts the periodic scanning of a newly infected phone.
+func scheduleScanLoop(sim *des.Simulation, cfg Config, scan func(int), i int) {
+	if _, err := sim.ScheduleAfter(cfg.ScanInterval, func(*des.Simulation) {
+		scan(i)
+	}); err != nil {
+		return
+	}
+}

@@ -1,0 +1,72 @@
+package response
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mms"
+	"repro/internal/rng"
+)
+
+// Blacklist is the blacklisting mechanism: the provider counts suspected
+// infected *messages* per phone (a multi-recipient message counts once, and
+// messages to invalid numbers count — which is why it bites hardest on the
+// random-dialing Virus 3); when a phone reaches the threshold, all its
+// outgoing MMS service is stopped until the phone is proven clean (beyond
+// the simulated horizon, as in the paper).
+type Blacklist struct {
+	// Threshold is the number of suspected infected messages after which a
+	// phone is blacklisted (paper: 10, 20, 30, or 40).
+	Threshold int
+
+	counts      map[mms.PhoneID]int
+	blacklisted map[mms.PhoneID]bool
+}
+
+var (
+	_ mms.Response       = (*Blacklist)(nil)
+	_ mms.SendController = (*Blacklist)(nil)
+)
+
+// NewBlacklist returns a factory for blacklisting at the given threshold.
+func NewBlacklist(threshold int) mms.ResponseFactory {
+	return func() mms.Response {
+		return &Blacklist{Threshold: threshold}
+	}
+}
+
+// Name implements mms.Response.
+func (b *Blacklist) Name() string {
+	return fmt.Sprintf("blacklist(threshold=%d)", b.Threshold)
+}
+
+// Attach implements mms.Response.
+func (b *Blacklist) Attach(n *mms.Network, _ *rng.Source) error {
+	if b.Threshold < 1 {
+		return fmt.Errorf("response: blacklist threshold must be at least 1")
+	}
+	b.counts = make(map[mms.PhoneID]int)
+	b.blacklisted = make(map[mms.PhoneID]bool)
+	n.AddController(b)
+	return nil
+}
+
+// OnSendAttempt implements mms.SendController.
+func (b *Blacklist) OnSendAttempt(p mms.PhoneID, _ time.Duration) mms.SendVerdict {
+	if b.blacklisted[p] {
+		return mms.SendVerdict{Action: mms.ActionBlock}
+	}
+	return mms.SendVerdict{Action: mms.ActionAllow}
+}
+
+// OnSent implements mms.SendController: count the suspected infected
+// message and blacklist the phone at the threshold.
+func (b *Blacklist) OnSent(p mms.PhoneID, _ time.Duration, _ int) {
+	b.counts[p]++
+	if b.counts[p] >= b.Threshold {
+		b.blacklisted[p] = true
+	}
+}
+
+// Blacklisted reports whether phone p has been cut off.
+func (b *Blacklist) Blacklisted(p mms.PhoneID) bool { return b.blacklisted[p] }

@@ -1,0 +1,95 @@
+package response
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/mms"
+	"repro/internal/rng"
+)
+
+// Immunizer is the software-patch mechanism: after the virus becomes
+// detectable, the provider develops a patch (DevelopmentTime) and then
+// deploys it to every vulnerable phone uniformly over DeploymentWindow
+// (bandwidth limits prevent simultaneous installation; more servers mean a
+// shorter window). A patched susceptible phone becomes immune; a patched
+// infected phone stops disseminating.
+type Immunizer struct {
+	// DevelopmentTime is the patch development time after detectability
+	// (paper: 24 or 48 hours).
+	DevelopmentTime time.Duration
+	// DeploymentWindow is the time over which the patch reaches the whole
+	// population (paper: 1, 6, or 24 hours).
+	DeploymentWindow time.Duration
+
+	deployStarted time.Duration
+	started       bool
+}
+
+var _ mms.Response = (*Immunizer)(nil)
+
+// NewImmunizer returns a factory for patch-immunization campaigns.
+func NewImmunizer(developmentTime, deploymentWindow time.Duration) mms.ResponseFactory {
+	return func() mms.Response {
+		return &Immunizer{
+			DevelopmentTime:  developmentTime,
+			DeploymentWindow: deploymentWindow,
+		}
+	}
+}
+
+// Name implements mms.Response.
+func (im *Immunizer) Name() string {
+	return fmt.Sprintf("immunize(dev=%v,deploy=%v)", im.DevelopmentTime, im.DeploymentWindow)
+}
+
+// Attach implements mms.Response.
+func (im *Immunizer) Attach(n *mms.Network, src *rng.Source) error {
+	if im.DevelopmentTime < 0 {
+		return fmt.Errorf("response: negative patch development time")
+	}
+	if im.DeploymentWindow < 0 {
+		return fmt.Errorf("response: negative patch deployment window")
+	}
+	if src == nil {
+		return fmt.Errorf("response: immunizer needs a random source")
+	}
+	n.Gateway().OnVirusDetected(func(at time.Duration) {
+		if _, err := n.Sim().ScheduleAfter(im.DevelopmentTime, func(*des.Simulation) {
+			im.deploy(n, src)
+		}); err != nil {
+			return
+		}
+	})
+	return nil
+}
+
+// deploy schedules each phone's patch installation uniformly across the
+// deployment window.
+func (im *Immunizer) deploy(n *mms.Network, src *rng.Source) {
+	im.started = true
+	im.deployStarted = n.Sim().Now()
+	for i := 0; i < n.N(); i++ {
+		id := mms.PhoneID(i)
+		p := n.Phone(id)
+		if p.State == mms.StateNotVulnerable {
+			continue // nothing to patch against
+		}
+		var offset time.Duration
+		if im.DeploymentWindow > 0 {
+			offset = time.Duration(src.Uniform(0, float64(im.DeploymentWindow)))
+		}
+		if _, err := n.Sim().ScheduleAfter(offset, func(*des.Simulation) {
+			// Patch failures are impossible for in-range ids.
+			_ = n.Patch(id)
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// DeploymentStarted reports whether and when deployment began.
+func (im *Immunizer) DeploymentStarted() (time.Duration, bool) {
+	return im.deployStarted, im.started
+}

@@ -1,0 +1,378 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
+
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	t.Parallel()
+
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("sources with different seeds matched on %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	t.Parallel()
+
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate all-zero sequence")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64MeanVariance(t *testing.T) {
+	t.Parallel()
+
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	t.Parallel()
+
+	s := New(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nSmallRangeUnbiased(t *testing.T) {
+	t.Parallel()
+
+	s := New(5)
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[s.Uint64n(3)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Errorf("bucket %d frequency %v, want ~1/3", i, frac)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	t.Parallel()
+
+	s := New(9)
+	const n = 200000
+	const mean = 3.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05 {
+		t.Errorf("exponential mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	t.Parallel()
+
+	s := New(9)
+	if got := s.Exp(0); got != 0 {
+		t.Errorf("Exp(0) = %v, want 0", got)
+	}
+	if got := s.Exp(-1); got != 0 {
+		t.Errorf("Exp(-1) = %v, want 0", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	t.Parallel()
+
+	s := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	t.Parallel()
+
+	s := New(17)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %v, want ~0.3", frac)
+	}
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	if s.Bool(-0.5) {
+		t.Error("Bool(-0.5) returned true")
+	}
+	if !s.Bool(1.5) {
+		t.Error("Bool(1.5) returned false")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	t.Parallel()
+
+	s := New(19)
+	const p = 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := s.Geometric(p)
+		if v < 0 {
+			t.Fatalf("Geometric returned negative %d", v)
+		}
+		sum += v
+	}
+	got := float64(sum) / n
+	want := (1 - p) / p
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("geometric mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	t.Parallel()
+
+	s := New(23)
+	for _, mean := range []float64{0.5, 4, 80} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if got := s.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	t.Parallel()
+
+	s := New(29)
+	for i := 0; i < 10000; i++ {
+		v := s.Pareto(2.5, 3)
+		if v < 3 {
+			t.Fatalf("Pareto(2.5, 3) = %v below xm", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+
+	s := New(31)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamIndependentOfParentAdvance(t *testing.T) {
+	t.Parallel()
+
+	a := New(99)
+	c1 := a.Stream(7)
+	c2 := a.Stream(7)
+	if c1.Uint64() != c2.Uint64() {
+		t.Fatal("Stream with same name from same parent state diverged")
+	}
+	// Different names must differ.
+	d := a.Stream(8)
+	if c1.Uint64() == d.Uint64() && c1.Uint64() == d.Uint64() {
+		t.Fatal("Stream with different names produced identical draws")
+	}
+}
+
+func TestSplitAdvancesParent(t *testing.T) {
+	t.Parallel()
+
+	a := New(123)
+	b := New(123)
+	_ = a.Split()
+	// After a split the parent must have advanced relative to a fresh copy.
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("Split did not advance parent state")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	a := New(77)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	st := a.State()
+	b := NewFromState(st)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("restored source diverged from original")
+		}
+	}
+}
+
+func TestNewFromStateZeroState(t *testing.T) {
+	t.Parallel()
+
+	s := NewFromState([4]uint64{})
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("NewFromState with zero state is degenerate")
+	}
+}
+
+// Property: streams derived with distinct names have low pairwise collision
+// rates on their first draws.
+func TestQuickStreamDecorrelation(t *testing.T) {
+	t.Parallel()
+
+	parent := New(4242)
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		sa := parent.Stream(uint64(a))
+		sb := parent.Stream(uint64(b))
+		return sa.Uint64() != sb.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Uint64n(n) < n for all nonzero n.
+func TestQuickUint64nInRange(t *testing.T) {
+	t.Parallel()
+
+	s := New(55)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intn results are within range for positive n.
+func TestQuickIntnInRange(t *testing.T) {
+	t.Parallel()
+
+	s := New(56)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

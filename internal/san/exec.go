@@ -1,0 +1,310 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Execution runs one trajectory of a SAN on the discrete-event kernel.
+type Execution struct {
+	model   *Model
+	marking *Marking
+	sim     *des.Simulation
+	src     *rng.Source
+	// trace, if non-nil, receives every activity firing.
+	trace func(at time.Duration, a *Activity)
+
+	firings map[*Activity]uint64
+}
+
+// NewExecution prepares a run of model with the given random source.
+func NewExecution(model *Model, src *rng.Source) (*Execution, error) {
+	if model == nil {
+		return nil, errors.New("san: nil model")
+	}
+	if src == nil {
+		return nil, errors.New("san: nil rng source")
+	}
+	if len(model.activities) == 0 {
+		return nil, fmt.Errorf("san: model %q has no activities", model.name)
+	}
+	model.built = true
+	counts := make([]int, len(model.places))
+	index := make(map[*Place]int, len(model.places))
+	for i, p := range model.places {
+		counts[i] = p.initial
+		index[p] = i
+	}
+	e := &Execution{
+		model: model,
+		marking: &Marking{
+			counts: counts,
+			places: model.places,
+			index:  index,
+		},
+		sim:     des.New(),
+		src:     src,
+		firings: make(map[*Activity]uint64, len(model.activities)),
+	}
+	return e, nil
+}
+
+// Marking returns the execution's live marking.
+func (e *Execution) Marking() *Marking { return e.marking }
+
+// Now returns the current simulation time.
+func (e *Execution) Now() time.Duration { return e.sim.Now() }
+
+// Firings returns how many times activity a fired.
+func (e *Execution) Firings(a *Activity) uint64 { return e.firings[a] }
+
+// SetTrace installs a callback invoked after each activity firing.
+func (e *Execution) SetTrace(fn func(at time.Duration, a *Activity)) { e.trace = fn }
+
+// enabled reports whether activity a is enabled in the current marking.
+func (e *Execution) enabled(a *Activity) bool {
+	for _, p := range a.inputs {
+		if e.marking.Get(p) < 1 {
+			return false
+		}
+	}
+	for _, g := range a.gates {
+		if g.Enabled != nil && !g.Enabled(e.marking) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire consumes inputs, applies gate functions, picks a case, and applies
+// its outputs.
+func (e *Execution) fire(a *Activity) {
+	for _, p := range a.inputs {
+		e.marking.Add(p, -1)
+	}
+	for _, g := range a.gates {
+		if g.Fire != nil {
+			g.Fire(e.marking)
+		}
+	}
+	c := e.chooseCase(a)
+	for _, p := range c.Outputs {
+		e.marking.Add(p, 1)
+	}
+	for _, g := range c.Gates {
+		if g.Fire != nil {
+			g.Fire(e.marking)
+		}
+	}
+	e.firings[a]++
+	for _, rv := range e.model.rewards {
+		if v, ok := rv.impulse[a]; ok {
+			rv.impulses += v
+		}
+	}
+	if e.trace != nil {
+		e.trace(e.sim.Now(), a)
+	}
+}
+
+func (e *Execution) chooseCase(a *Activity) Case {
+	if len(a.cases) == 1 {
+		return a.cases[0]
+	}
+	total := 0.0
+	for _, c := range a.cases {
+		total += c.weight(e.marking)
+	}
+	if total <= 0 {
+		// All dynamic weights vanished; fall back to the last case, which
+		// models "no effect" in well-formed models.
+		return a.cases[len(a.cases)-1]
+	}
+	x := e.src.Float64() * total
+	acc := 0.0
+	for _, c := range a.cases {
+		acc += c.weight(e.marking)
+		if x < acc {
+			return c
+		}
+	}
+	return a.cases[len(a.cases)-1]
+}
+
+// settle fires enabled instantaneous activities (priority order) until none
+// remain enabled. A bounded iteration count guards against vanishing loops
+// in ill-formed models.
+func (e *Execution) settle() error {
+	inst := make([]*Activity, 0, len(e.model.activities))
+	for _, a := range e.model.activities {
+		if a.delay == nil {
+			inst = append(inst, a)
+		}
+	}
+	sort.SliceStable(inst, func(i, j int) bool { return inst[i].priority < inst[j].priority })
+	const maxIterations = 1 << 16
+	for iter := 0; ; iter++ {
+		if iter >= maxIterations {
+			return fmt.Errorf("san: model %q: instantaneous activities did not settle (vanishing loop?)", e.model.name)
+		}
+		fired := false
+		for _, a := range inst {
+			if e.enabled(a) {
+				e.fire(a)
+				fired = true
+				break // re-evaluate priorities from the top
+			}
+		}
+		if !fired {
+			return nil
+		}
+	}
+}
+
+// refreshTimed aborts activations of disabled timed activities and samples
+// activations for newly enabled ones (Möbius race semantics with restart on
+// re-enable).
+func (e *Execution) refreshTimed() error {
+	for _, a := range e.model.activities {
+		if a.delay == nil {
+			continue
+		}
+		en := e.enabled(a)
+		if !en && a.pending.Valid() {
+			e.sim.Cancel(a.pending)
+			a.pending = des.Handle{}
+			a.activeSeq++
+			continue
+		}
+		if en && !a.pending.Valid() {
+			a.activeSeq++
+			seq := a.activeSeq
+			delay := a.delay(e.marking, e.src)
+			if delay < 0 {
+				delay = 0
+			}
+			act := a
+			h, err := e.sim.ScheduleAfter(delay, func(*des.Simulation) {
+				e.onTimedFire(act, seq)
+			})
+			if err != nil {
+				return fmt.Errorf("san: schedule activity %q: %w", a.name, err)
+			}
+			a.pending = h
+		}
+	}
+	return nil
+}
+
+func (e *Execution) onTimedFire(a *Activity, seq uint64) {
+	if seq != a.activeSeq {
+		return // stale activation
+	}
+	a.pending = des.Handle{}
+	a.activeSeq++
+	if !e.enabled(a) {
+		// Disabled at fire time (should have been cancelled, but gates can
+		// depend on time-varying state); just resample lazily.
+		if err := e.refreshTimed(); err != nil {
+			e.sim.Stop()
+		}
+		return
+	}
+	e.integrateRewards()
+	e.fire(a)
+	if err := e.settle(); err != nil {
+		e.sim.Stop()
+		return
+	}
+	e.refreshRates()
+	if err := e.refreshTimed(); err != nil {
+		e.sim.Stop()
+	}
+}
+
+// integrateRewards accumulates rate rewards up to the current instant using
+// the rates in force since the previous event.
+func (e *Execution) integrateRewards() {
+	now := e.sim.Now()
+	for _, rv := range e.model.rewards {
+		if rv.rate == nil {
+			continue
+		}
+		dt := now - rv.lastT
+		if dt > 0 {
+			rv.integrated += rv.lastRate * float64(dt) / float64(time.Hour)
+		}
+		rv.lastT = now
+	}
+}
+
+// refreshRates re-evaluates rate rewards against the (possibly just
+// mutated) marking, establishing the rate in force until the next event.
+func (e *Execution) refreshRates() {
+	for _, rv := range e.model.rewards {
+		if rv.rate != nil {
+			rv.lastRate = rv.rate(e.marking)
+		}
+	}
+}
+
+// prime initializes reward rates at time zero.
+func (e *Execution) prime() {
+	for _, rv := range e.model.rewards {
+		if rv.rate != nil {
+			rv.lastT = 0
+			rv.lastRate = rv.rate(e.marking)
+		}
+	}
+}
+
+// Run executes the SAN until the given horizon. It may be called once per
+// Execution.
+func (e *Execution) Run(until time.Duration) error {
+	if until <= 0 {
+		return errors.New("san: run horizon must be positive")
+	}
+	e.prime()
+	if err := e.settle(); err != nil {
+		return err
+	}
+	if err := e.refreshTimed(); err != nil {
+		return err
+	}
+	e.sim.RunUntil(until)
+	// Close out rate-reward integration at the horizon.
+	e.integrateRewards()
+	e.refreshRates()
+	return nil
+}
+
+// StepUntil executes the SAN until the predicate on the marking becomes
+// true or the horizon is reached; it reports whether the predicate fired.
+func (e *Execution) StepUntil(until time.Duration, done Predicate) (bool, error) {
+	if until <= 0 {
+		return false, errors.New("san: run horizon must be positive")
+	}
+	e.prime()
+	if err := e.settle(); err != nil {
+		return false, err
+	}
+	if err := e.refreshTimed(); err != nil {
+		return false, err
+	}
+	// A sentinel event halts the run exactly at the horizon; events beyond
+	// it never fire.
+	if _, err := e.sim.ScheduleAtPriority(until, -1<<30, func(s *des.Simulation) {
+		s.Stop()
+	}); err != nil {
+		return false, err
+	}
+	e.sim.RunWhile(func() bool { return !done(e.marking) })
+	e.integrateRewards()
+	e.refreshRates()
+	return done(e.marking), nil
+}

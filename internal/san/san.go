@@ -1,0 +1,308 @@
+// Package san implements stochastic activity networks (SANs), the modeling
+// formalism of the Möbius tool [Deavours et al., IEEE TSE 2002] in which the
+// paper's phone model was originally built.
+//
+// A SAN consists of places holding non-negative integer markings, timed
+// activities that fire after a random delay when enabled, instantaneous
+// activities that fire immediately (by priority) when enabled, input gates
+// (arbitrary enabling predicates and input functions) and output gates
+// (arbitrary marking updates), and probabilistic cases on activities.
+// Execution follows Möbius semantics:
+//
+//   - An activity is enabled when every input arc/gate predicate holds.
+//   - Enabled timed activities race: each samples an activation delay; the
+//     earliest fires. If an activity becomes disabled before firing, its
+//     activation is aborted and resampled on re-enablement.
+//   - Instantaneous activities fire before any timed activity at the same
+//     instant, highest priority (lowest number) first.
+//   - Firing consumes input arcs, applies gate functions, chooses a case at
+//     random, and applies output arcs/gates of that case.
+//
+// Reward variables accumulate rate rewards (functions of the marking,
+// integrated over time) and impulse rewards (per activity firing).
+//
+// The virus model itself runs directly on the des kernel for speed, but this
+// package demonstrates that the substrate the paper relied on is available,
+// and it is validated against analytic birth–death results in its tests.
+package san
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Place is a state variable holding a non-negative integer marking.
+type Place struct {
+	name    string
+	initial int
+}
+
+// Name returns the place's name.
+func (p *Place) Name() string { return p.name }
+
+// Marking is the state of a SAN: the current token count of every place.
+type Marking struct {
+	counts []int
+	places []*Place
+	index  map[*Place]int
+}
+
+// Get returns the marking of place p.
+func (m *Marking) Get(p *Place) int {
+	i, ok := m.index[p]
+	if !ok {
+		return 0
+	}
+	return m.counts[i]
+}
+
+// Set assigns the marking of place p; negative values are clamped to zero.
+func (m *Marking) Set(p *Place, v int) {
+	i, ok := m.index[p]
+	if !ok {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	m.counts[i] = v
+}
+
+// Add adjusts the marking of place p by delta, clamping at zero.
+func (m *Marking) Add(p *Place, delta int) {
+	m.Set(p, m.Get(p)+delta)
+}
+
+// Total returns the sum of all markings (used by conservation tests).
+func (m *Marking) Total() int {
+	sum := 0
+	for _, c := range m.counts {
+		sum += c
+	}
+	return sum
+}
+
+// clone copies the marking for snapshots.
+func (m *Marking) clone() []int {
+	return append([]int(nil), m.counts...)
+}
+
+// Predicate decides whether an activity is enabled in a marking.
+type Predicate func(m *Marking) bool
+
+// Effect mutates the marking when a gate fires.
+type Effect func(m *Marking)
+
+// InputGate pairs an enabling predicate with an input function applied on
+// firing, exactly as in Möbius.
+type InputGate struct {
+	Enabled Predicate
+	Fire    Effect
+}
+
+// OutputGate applies a marking update after an activity completes.
+type OutputGate struct {
+	Fire Effect
+}
+
+// Case is one probabilistic outcome of an activity. Weights are normalized
+// at firing time; DynWeight, when set, supersedes Weight and may depend on
+// the marking (Möbius's marking-dependent case probabilities, which the
+// paper's consent model AF/2^n requires).
+type Case struct {
+	Weight float64
+	// DynWeight computes the weight from the marking at firing time.
+	DynWeight func(m *Marking) float64
+	// Outputs lists output arcs: each adds one token to the place.
+	Outputs []*Place
+	// Gates lists output gates fired for this case.
+	Gates []*OutputGate
+}
+
+// weight returns the case's weight in marking m, clamped non-negative.
+func (c Case) weight(m *Marking) float64 {
+	w := c.Weight
+	if c.DynWeight != nil {
+		w = c.DynWeight(m)
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// DelayFunc samples an activity's firing delay; it may inspect the marking
+// (marking-dependent rates).
+type DelayFunc func(m *Marking, src *rng.Source) time.Duration
+
+// ExpDelay returns a DelayFunc for an exponential delay whose rate is
+// rate(m) per hour; a non-positive rate disables progress by returning a
+// very large delay.
+func ExpDelay(rate func(m *Marking) float64) DelayFunc {
+	return func(m *Marking, src *rng.Source) time.Duration {
+		r := rate(m)
+		if r <= 0 {
+			return time.Duration(1<<62 - 1)
+		}
+		return time.Duration(src.Exp(float64(time.Hour) / r))
+	}
+}
+
+// Activity is a SAN activity. Timed activities have a Delay; instantaneous
+// activities have Delay == nil and fire immediately by Priority order.
+type Activity struct {
+	name     string
+	delay    DelayFunc // nil => instantaneous
+	priority int       // instantaneous ordering; lower fires first
+	inputs   []*Place  // input arcs: require >= 1 token, consume 1
+	gates    []*InputGate
+	cases    []Case
+
+	// runtime state
+	pending   des.Handle
+	activeSeq uint64 // activation epoch, used to abort stale firings
+}
+
+// Name returns the activity's name.
+func (a *Activity) Name() string { return a.name }
+
+// Model is a SAN under construction and execution.
+type Model struct {
+	name       string
+	places     []*Place
+	activities []*Activity
+	rewards    []*RewardVariable
+	built      bool
+}
+
+// NewModel returns an empty SAN with the given name.
+func NewModel(name string) *Model {
+	return &Model{name: name}
+}
+
+// Name returns the model name.
+func (m *Model) Name() string { return m.name }
+
+// Places returns the model's places in creation order. The slice is a
+// copy; the places themselves are shared handles.
+func (m *Model) Places() []*Place {
+	return append([]*Place(nil), m.places...)
+}
+
+// Activities returns the model's activities in creation order.
+func (m *Model) Activities() []*Activity {
+	return append([]*Activity(nil), m.activities...)
+}
+
+// AddPlace creates a place with an initial marking. Initial markings must be
+// non-negative.
+func (m *Model) AddPlace(name string, initial int) (*Place, error) {
+	if initial < 0 {
+		return nil, fmt.Errorf("san: place %q initial marking %d is negative", name, initial)
+	}
+	p := &Place{name: name, initial: initial}
+	m.places = append(m.places, p)
+	return p, nil
+}
+
+// ActivityOption configures an activity at construction.
+type ActivityOption func(*Activity)
+
+// WithDelay makes the activity timed with the given delay sampler.
+func WithDelay(d DelayFunc) ActivityOption {
+	return func(a *Activity) { a.delay = d }
+}
+
+// WithPriority sets an instantaneous activity's priority (lower first).
+func WithPriority(p int) ActivityOption {
+	return func(a *Activity) { a.priority = p }
+}
+
+// WithInputs adds input arcs: each listed place must hold at least one token
+// for the activity to be enabled, and one token is consumed on firing.
+func WithInputs(places ...*Place) ActivityOption {
+	return func(a *Activity) { a.inputs = append(a.inputs, places...) }
+}
+
+// WithInputGate adds an input gate.
+func WithInputGate(g *InputGate) ActivityOption {
+	return func(a *Activity) { a.gates = append(a.gates, g) }
+}
+
+// WithCases sets the activity's probabilistic cases. Without cases the
+// activity has a single implicit empty case.
+func WithCases(cases ...Case) ActivityOption {
+	return func(a *Activity) { a.cases = append(a.cases, cases...) }
+}
+
+// AddActivity creates an activity.
+func (m *Model) AddActivity(name string, opts ...ActivityOption) (*Activity, error) {
+	if m.built {
+		return nil, errors.New("san: model already built")
+	}
+	a := &Activity{name: name}
+	for _, opt := range opts {
+		opt(a)
+	}
+	if len(a.cases) == 0 {
+		a.cases = []Case{{Weight: 1}}
+	}
+	total := 0.0
+	dynamic := false
+	for i, c := range a.cases {
+		if c.DynWeight != nil {
+			dynamic = true
+			continue
+		}
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("san: activity %q case %d has negative weight", name, i)
+		}
+		total += c.Weight
+	}
+	if !dynamic && total <= 0 {
+		return nil, fmt.Errorf("san: activity %q case weights sum to zero", name)
+	}
+	m.activities = append(m.activities, a)
+	return a, nil
+}
+
+// RewardVariable measures the model: Rate is integrated over time, Impulse
+// is added on each firing of the named activity.
+type RewardVariable struct {
+	name    string
+	rate    func(m *Marking) float64
+	impulse map[*Activity]float64
+
+	// accumulators
+	lastT      time.Duration
+	lastRate   float64
+	integrated float64
+	impulses   float64
+}
+
+// Name returns the reward variable's name.
+func (r *RewardVariable) Name() string { return r.name }
+
+// Integrated returns the time-integrated rate reward in reward·hours plus
+// accumulated impulses.
+func (r *RewardVariable) Integrated() float64 { return r.integrated + r.impulses }
+
+// AddRateReward registers a rate reward accumulated as
+// integral(rate(marking) dt), reported in reward-hours.
+func (m *Model) AddRateReward(name string, rate func(mk *Marking) float64) *RewardVariable {
+	rv := &RewardVariable{name: name, rate: rate, impulse: make(map[*Activity]float64)}
+	m.rewards = append(m.rewards, rv)
+	return rv
+}
+
+// AddImpulseReward registers an impulse reward of value v on every firing of
+// activity a, accumulated into the returned variable.
+func (m *Model) AddImpulseReward(name string, a *Activity, v float64) *RewardVariable {
+	rv := &RewardVariable{name: name, impulse: map[*Activity]float64{a: v}}
+	m.rewards = append(m.rewards, rv)
+	return rv
+}

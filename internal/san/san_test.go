@@ -1,0 +1,613 @@
+package san
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestModelConstructionErrors(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("t")
+	if _, err := m.AddPlace("p", -1); err == nil {
+		t.Error("negative initial marking accepted")
+	}
+	if _, err := m.AddActivity("neg", WithCases(Case{Weight: -1})); err == nil {
+		t.Error("negative case weight accepted")
+	}
+	if _, err := m.AddActivity("zero", WithCases(Case{Weight: 0})); err == nil {
+		t.Error("all-zero case weights accepted")
+	}
+}
+
+func TestExecutionValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewExecution(nil, rng.New(1)); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := NewModel("empty")
+	if _, err := NewExecution(m, rng.New(1)); err == nil {
+		t.Error("model without activities accepted")
+	}
+	m2 := NewModel("one")
+	if _, err := m2.AddActivity("a", WithDelay(ExpDelay(func(*Marking) float64 { return 1 }))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExecution(m2, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	e, err := NewExecution(m2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// Poisson process: one timed activity at rate lambda incrementing a counter
+// place. Firing count over horizon T should be ~lambda*T.
+func TestPoissonProcessRate(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("poisson")
+	count, err := m.AddPlace("count", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lambda = 5.0 // per hour
+	arrive, err := m.AddActivity("arrive",
+		WithDelay(ExpDelay(func(*Marking) float64 { return lambda })),
+		WithCases(Case{Weight: 1, Outputs: []*Place{count}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hours = 400
+	if err := e.Run(hours * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(e.Marking().Get(count))
+	want := lambda * hours
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("poisson firings = %v, want ~%v", got, want)
+	}
+	if e.Firings(arrive) != uint64(got) {
+		t.Errorf("Firings = %d, marking = %v", e.Firings(arrive), got)
+	}
+}
+
+// M/M/1 queue with arrival rate 2/h, service rate 4/h (rho = 0.5). Expected
+// time-average queue length L = rho/(1-rho) = 1.
+func TestMM1QueueLength(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("mm1")
+	queue, err := m.AddPlace("queue", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("arrive",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 2 })),
+		WithCases(Case{Weight: 1, Outputs: []*Place{queue}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("serve",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 4 })),
+		WithInputs(queue),
+	); err != nil {
+		t.Fatal(err)
+	}
+	lenReward := m.AddRateReward("L", func(mk *Marking) float64 { return float64(mk.Get(queue)) })
+
+	e, err := NewExecution(m, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hours = 30000
+	if err := e.Run(hours * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	avgLen := lenReward.Integrated() / hours
+	if math.Abs(avgLen-1) > 0.1 {
+		t.Errorf("M/M/1 mean queue length = %v, want ~1 (rho=0.5)", avgLen)
+	}
+}
+
+// SIR epidemic as a SAN: infection consumes S, recovery consumes I.
+// Population must be conserved and the epidemic must end with I = 0.
+func TestSIRConservationAndExtinction(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("sir")
+	s, err := m.AddPlace("S", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := m.AddPlace("I", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.AddPlace("R", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100.0
+	const beta, gamma = 0.8, 0.2
+	if _, err := m.AddActivity("infect",
+		WithDelay(ExpDelay(func(mk *Marking) float64 {
+			return beta * float64(mk.Get(s)) * float64(mk.Get(i)) / n
+		})),
+		WithInputs(s),
+		WithCases(Case{Weight: 1, Outputs: []*Place{i}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("recover",
+		WithDelay(ExpDelay(func(mk *Marking) float64 {
+			return gamma * float64(mk.Get(i))
+		})),
+		WithInputs(i),
+		WithCases(Case{Weight: 1, Outputs: []*Place{r}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewExecution(m, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := e.StepUntil(100000*time.Hour, func(mk *Marking) bool {
+		return mk.Get(i) == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("SIR epidemic did not go extinct within horizon")
+	}
+	mk := e.Marking()
+	if total := mk.Get(s) + mk.Get(i) + mk.Get(r); total != 100 {
+		t.Errorf("population not conserved: %d", total)
+	}
+	if mk.Get(r) == 0 {
+		t.Error("no recoveries recorded")
+	}
+}
+
+func TestInstantaneousPriorityAndSettle(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("inst")
+	trigger, err := m.AddPlace("trigger", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AddPlace("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AddPlace("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instantaneous activities compete for the single trigger token;
+	// the higher-priority one (lower number) must win.
+	if _, err := m.AddActivity("low",
+		WithPriority(5),
+		WithInputs(trigger),
+		WithCases(Case{Weight: 1, Outputs: []*Place{b}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("high",
+		WithPriority(1),
+		WithInputs(trigger),
+		WithCases(Case{Weight: 1, Outputs: []*Place{a}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// One timed activity so the model is executable.
+	if _, err := m.AddActivity("tick",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 0 }))); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewExecution(m, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e.Marking().Get(a) != 1 || e.Marking().Get(b) != 0 {
+		t.Errorf("priority violated: a=%d b=%d", e.Marking().Get(a), e.Marking().Get(b))
+	}
+}
+
+func TestVanishingLoopDetected(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("loop")
+	p, err := m.AddPlace("p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instantaneous activity that re-produces its own input: never settles.
+	if _, err := m.AddActivity("spin",
+		WithInputs(p),
+		WithCases(Case{Weight: 1, Outputs: []*Place{p}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(time.Hour); err == nil {
+		t.Error("vanishing loop not detected")
+	}
+}
+
+func TestCaseProbabilities(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("cases")
+	left, err := m.AddPlace("left", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := m.AddPlace("right", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("branch",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 100 })),
+		WithCases(
+			Case{Weight: 1, Outputs: []*Place{left}},
+			Case{Weight: 3, Outputs: []*Place{right}},
+		),
+	); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(200 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	l := float64(e.Marking().Get(left))
+	r := float64(e.Marking().Get(right))
+	frac := l / (l + r)
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("case 1 fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestInputGateEnablingAndFire(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("gate")
+	level, err := m.AddPlace("level", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained, err := m.AddPlace("drained", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill one token per firing.
+	if _, err := m.AddActivity("fill",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 10 })),
+		WithCases(Case{Weight: 1, Outputs: []*Place{level}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Drain only activates at level >= 3 and empties the place.
+	gate := &InputGate{
+		Enabled: func(mk *Marking) bool { return mk.Get(level) >= 3 },
+		Fire:    func(mk *Marking) { mk.Set(level, 0) },
+	}
+	if _, err := m.AddActivity("drain",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 1000 })),
+		WithInputGate(gate),
+		WithCases(Case{Weight: 1, Outputs: []*Place{drained}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(50 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e.Marking().Get(drained) == 0 {
+		t.Error("drain never fired")
+	}
+	if e.Marking().Get(level) >= 10 {
+		t.Errorf("level = %d, drain not keeping up", e.Marking().Get(level))
+	}
+}
+
+func TestImpulseReward(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("impulse")
+	a, err := m.AddActivity("event",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 2 })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := m.AddImpulseReward("count", a, 1)
+	e, err := NewExecution(m, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rv.Integrated(), float64(e.Firings(a)); got != want {
+		t.Errorf("impulse reward %v, want firings %v", got, want)
+	}
+	if rv.Integrated() < 100 {
+		t.Errorf("too few firings: %v", rv.Integrated())
+	}
+}
+
+func TestDisableAbortsActivation(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("abort")
+	token, err := m.AddPlace("token", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.AddPlace("fastFired", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.AddPlace("slowFired", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both activities need the single token. The fast one (rate 1000/h)
+	// should essentially always preempt the slow one (rate 0.001/h), whose
+	// activation must then be aborted rather than fire later.
+	if _, err := m.AddActivity("fast",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 1000 })),
+		WithInputs(token),
+		WithCases(Case{Weight: 1, Outputs: []*Place{fast}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("slow",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 0.001 })),
+		WithInputs(token),
+		WithCases(Case{Weight: 1, Outputs: []*Place{slow}}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100000 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if e.Marking().Get(fast) != 1 {
+		t.Error("fast activity did not claim the token")
+	}
+	if e.Marking().Get(slow) != 0 {
+		t.Error("aborted slow activation fired anyway")
+	}
+}
+
+func TestRepComposition(t *testing.T) {
+	t.Parallel()
+
+	// N replicas of a "phone": each moves one token from its local place to
+	// the shared infected pool at rate 1/h.
+	const replicas = 20
+	tmpl := func(m *Model, shared map[string]*Place, idx int) error {
+		local, err := m.AddPlace(Namespace("phone", idx, "healthy"), 1)
+		if err != nil {
+			return err
+		}
+		_, err = m.AddActivity(Namespace("phone", idx, "infect"),
+			WithDelay(ExpDelay(func(*Marking) float64 { return 1 })),
+			WithInputs(local),
+			WithCases(Case{Weight: 1, Outputs: []*Place{shared["infected"]}}),
+		)
+		return err
+	}
+	m, err := Rep("population", replicas, []string{"infected"}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1000 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	infected := 0
+	for _, p := range m.places {
+		if p.Name() == "infected" {
+			infected = e.Marking().Get(p)
+		}
+	}
+	if infected != replicas {
+		t.Errorf("shared infected pool = %d, want %d", infected, replicas)
+	}
+}
+
+func TestRepJoinValidation(t *testing.T) {
+	t.Parallel()
+
+	noop := func(m *Model, shared map[string]*Place, idx int) error { return nil }
+	if _, err := Rep("r", 0, nil, noop); err == nil {
+		t.Error("Rep with zero replicas accepted")
+	}
+	if _, err := Rep("r", 1, nil, nil); err == nil {
+		t.Error("Rep with nil template accepted")
+	}
+	if _, err := Join("j", nil); err == nil {
+		t.Error("Join with no templates accepted")
+	}
+	if _, err := Join("j", nil, nil); err == nil {
+		t.Error("Join with nil template accepted")
+	}
+}
+
+func TestJoinSharesPlaces(t *testing.T) {
+	t.Parallel()
+
+	producer := func(m *Model, shared map[string]*Place, _ int) error {
+		_, err := m.AddActivity("produce",
+			WithDelay(ExpDelay(func(*Marking) float64 { return 10 })),
+			WithCases(Case{Weight: 1, Outputs: []*Place{shared["buf"]}}),
+		)
+		return err
+	}
+	consumer := func(m *Model, shared map[string]*Place, _ int) error {
+		_, err := m.AddActivity("consume",
+			WithDelay(ExpDelay(func(*Marking) float64 { return 10 })),
+			WithInputs(shared["buf"]),
+		)
+		return err
+	}
+	m, err := Join("pc", []string{"buf"}, producer, consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// The buffer should stay modest because the consumer drains it.
+	var buf *Place
+	for _, p := range m.places {
+		if p.Name() == "buf" {
+			buf = p
+		}
+	}
+	if buf == nil {
+		t.Fatal("shared place missing")
+	}
+	if e.Marking().Get(buf) > 200 {
+		t.Errorf("buffer grew to %d; consumer seems disconnected", e.Marking().Get(buf))
+	}
+}
+
+func TestSetInitial(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("init")
+	p, err := m.AddPlace("p", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInitial(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInitial(p, -1); err == nil {
+		t.Error("negative initial accepted")
+	}
+	if _, err := m.AddActivity("tick",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 1 }))); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Marking().Get(p) != 5 {
+		t.Errorf("initial marking = %d, want 5", e.Marking().Get(p))
+	}
+	if err := m.SetInitial(p, 7); err == nil {
+		t.Error("SetInitial after build accepted")
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("trace")
+	if _, err := m.AddActivity("tick",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 5 }))); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var last time.Duration
+	e.SetTrace(func(at time.Duration, a *Activity) {
+		fired++
+		if at < last {
+			t.Errorf("trace times went backwards: %v < %v", at, last)
+		}
+		last = at
+		if a.Name() != "tick" {
+			t.Errorf("unexpected activity %q", a.Name())
+		}
+	})
+	if err := e.Run(10 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Error("trace never invoked")
+	}
+}
+
+func TestMarkingHelpers(t *testing.T) {
+	t.Parallel()
+
+	m := NewModel("mk")
+	p, err := m.AddPlace("p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := m.AddPlace("q", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddActivity("tick",
+		WithDelay(ExpDelay(func(*Marking) float64 { return 1 }))); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExecution(m, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := e.Marking()
+	if mk.Total() != 5 {
+		t.Errorf("Total = %d, want 5", mk.Total())
+	}
+	mk.Add(p, -10)
+	if mk.Get(p) != 0 {
+		t.Error("negative marking not clamped")
+	}
+	other := &Place{name: "ghost"}
+	if mk.Get(other) != 0 {
+		t.Error("unknown place nonzero")
+	}
+	mk.Set(other, 4) // must not panic
+	_ = q
+}

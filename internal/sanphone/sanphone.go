@@ -1,0 +1,256 @@
+// Package sanphone expresses the paper's phone submodel in the stochastic
+// activity network formalism of the Möbius tool, demonstrating that the
+// internal/san substrate can represent the original model the way the
+// authors built it: a phone template replicated over the population with a
+// shared infected-count place (the Möbius Rep node), per-phone inbox and
+// state places, a timed send activity on infected phones, and a timed read
+// activity whose marking-dependent case probabilities implement the AF/2^n
+// consent model.
+//
+// The production simulator (internal/core) runs directly on the
+// discrete-event kernel for speed and full mechanism support; this package
+// is the formalism-level reference whose results are cross-checked against
+// the consent model's analytic plateau in tests.
+package sanphone
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/san"
+)
+
+// Config sizes the SAN phone model. SAN execution is heavier than the
+// direct simulator, so populations are laptop-scale.
+type Config struct {
+	// Population is the number of phone replicas.
+	Population int
+	// VulnerableFraction is the susceptible share.
+	VulnerableFraction float64
+	// SendRatePerHour is each infected phone's message rate (messages are
+	// addressed to one uniformly random other phone).
+	SendRatePerHour float64
+	// ReadRatePerHour is the rate at which a pending inbox message is
+	// read.
+	ReadRatePerHour float64
+	// AcceptanceFactor is the consent model's AF.
+	AcceptanceFactor float64
+}
+
+// DefaultConfig returns a small population matching the paper's rates:
+// roughly one message per 30 minutes and half-hour reads.
+func DefaultConfig() Config {
+	return Config{
+		Population:         40,
+		VulnerableFraction: 0.8,
+		SendRatePerHour:    2,
+		ReadRatePerHour:    2,
+		AcceptanceFactor:   mms.PaperAcceptanceFactor,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Population < 2:
+		return errors.New("sanphone: population must be at least 2")
+	case c.VulnerableFraction <= 0 || c.VulnerableFraction > 1:
+		return fmt.Errorf("sanphone: vulnerable fraction %v outside (0,1]", c.VulnerableFraction)
+	case c.SendRatePerHour <= 0:
+		return errors.New("sanphone: send rate must be positive")
+	case c.ReadRatePerHour <= 0:
+		return errors.New("sanphone: read rate must be positive")
+	case c.AcceptanceFactor <= 0 || c.AcceptanceFactor > 2:
+		return fmt.Errorf("sanphone: acceptance factor %v outside (0,2]", c.AcceptanceFactor)
+	}
+	return nil
+}
+
+// Model is the composed SAN plus handles needed to read results.
+type Model struct {
+	SAN *san.Model
+	// InfectedPool is the shared place counting infected phones.
+	InfectedPool *san.Place
+
+	inboxes []*san.Place
+}
+
+// Build composes the population SAN. The vulnerability mask and the seed
+// phone are chosen with src (the SAN execution gets its own source).
+func Build(cfg Config, src *rng.Source) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("sanphone: nil rng source")
+	}
+	n := cfg.Population
+	vulnerable := make([]bool, n)
+	perm := src.Perm(n)
+	k := int(cfg.VulnerableFraction*float64(n) + 0.5)
+	for i := 0; i < k; i++ {
+		vulnerable[perm[i]] = true
+	}
+	seed := perm[0] // a vulnerable phone
+
+	model := &Model{inboxes: make([]*san.Place, n)}
+
+	// First pass: create every phone's places so send activities can
+	// address all inboxes through their cases.
+	type phonePlaces struct {
+		susceptible, infected, inbox, trials *san.Place
+	}
+	phones := make([]phonePlaces, n)
+
+	tmpl := func(m *san.Model, shared map[string]*san.Place, idx int) error {
+		susceptibleInit := 0
+		infectedInit := 0
+		if vulnerable[idx] {
+			susceptibleInit = 1
+		}
+		if idx == seed {
+			susceptibleInit = 0
+			infectedInit = 1
+		}
+		var err error
+		if phones[idx].susceptible, err = m.AddPlace(san.Namespace("phone", idx, "susceptible"), susceptibleInit); err != nil {
+			return err
+		}
+		if phones[idx].infected, err = m.AddPlace(san.Namespace("phone", idx, "infected"), infectedInit); err != nil {
+			return err
+		}
+		if phones[idx].inbox, err = m.AddPlace(san.Namespace("phone", idx, "inbox"), 0); err != nil {
+			return err
+		}
+		if phones[idx].trials, err = m.AddPlace(san.Namespace("phone", idx, "trials"), 0); err != nil {
+			return err
+		}
+		model.inboxes[idx] = phones[idx].inbox
+		if idx == seed {
+			if err := m.SetInitial(shared["infectedPool"], 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sanModel, err := san.Rep("mms-virus", n, []string{"infectedPool"}, tmpl)
+	if err != nil {
+		return nil, err
+	}
+
+	var pool *san.Place
+	for _, candidate := range []string{"infectedPool"} {
+		p, perr := findPlace(sanModel, candidate)
+		if perr != nil {
+			return nil, perr
+		}
+		pool = p
+	}
+	model.SAN = sanModel
+	model.InfectedPool = pool
+
+	// Second pass: activities. Each infected phone sends at the configured
+	// rate; the message lands in a uniformly random other phone's inbox
+	// (one case per target, equal weights — the SAN idiom for random
+	// targeting). Each pending message is read at the read rate; the read
+	// activity's marking-dependent cases implement accept/reject with
+	// probability AF/2^(trials+1).
+	for i := 0; i < n; i++ {
+		i := i
+		sendGate := &san.InputGate{
+			Enabled: func(mk *san.Marking) bool { return mk.Get(phones[i].infected) >= 1 },
+		}
+		cases := make([]san.Case, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			cases = append(cases, san.Case{Weight: 1, Outputs: []*san.Place{phones[j].inbox}})
+		}
+		if _, err := sanModel.AddActivity(san.Namespace("phone", i, "send"),
+			san.WithDelay(san.ExpDelay(func(mk *san.Marking) float64 {
+				if mk.Get(phones[i].infected) < 1 {
+					return 0
+				}
+				return cfg.SendRatePerHour
+			})),
+			san.WithInputGate(sendGate),
+			san.WithCases(cases...),
+		); err != nil {
+			return nil, err
+		}
+
+		accept := san.Case{
+			DynWeight: func(mk *san.Marking) float64 {
+				return mms.AcceptanceProbability(cfg.AcceptanceFactor, mk.Get(phones[i].trials))
+			},
+			Gates: []*san.OutputGate{{
+				Fire: func(mk *san.Marking) {
+					if mk.Get(phones[i].susceptible) >= 1 {
+						mk.Add(phones[i].susceptible, -1)
+						mk.Add(phones[i].infected, 1)
+						mk.Add(pool, 1)
+					}
+				},
+			}},
+		}
+		reject := san.Case{
+			DynWeight: func(mk *san.Marking) float64 {
+				return 1 - mms.AcceptanceProbability(cfg.AcceptanceFactor, mk.Get(phones[i].trials))
+			},
+		}
+		readGate := &san.InputGate{
+			Enabled: func(mk *san.Marking) bool { return mk.Get(phones[i].inbox) >= 1 },
+			Fire: func(mk *san.Marking) {
+				mk.Add(phones[i].inbox, -1)
+				mk.Add(phones[i].trials, 1)
+			},
+		}
+		if _, err := sanModel.AddActivity(san.Namespace("phone", i, "read"),
+			san.WithDelay(san.ExpDelay(func(mk *san.Marking) float64 {
+				pending := mk.Get(phones[i].inbox)
+				if pending < 1 {
+					return 0
+				}
+				return cfg.ReadRatePerHour * float64(pending)
+			})),
+			san.WithInputGate(readGate),
+			san.WithCases(accept, reject),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return model, nil
+}
+
+// findPlace locates a model place by name.
+func findPlace(m *san.Model, name string) (*san.Place, error) {
+	for _, p := range m.Places() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("sanphone: place %q not found", name)
+}
+
+// Run builds and executes the SAN model, returning the final infected
+// count.
+func Run(cfg Config, seed uint64, horizon time.Duration) (int, error) {
+	root := rng.New(seed)
+	model, err := Build(cfg, root.Stream(1))
+	if err != nil {
+		return 0, err
+	}
+	exec, err := san.NewExecution(model.SAN, root.Stream(2))
+	if err != nil {
+		return 0, err
+	}
+	if err := exec.Run(horizon); err != nil {
+		return 0, err
+	}
+	return exec.Marking().Get(model.InfectedPool), nil
+}

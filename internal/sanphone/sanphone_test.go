@@ -1,0 +1,152 @@
+package sanphone
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/san"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	t.Parallel()
+
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tiny population", func(c *Config) { c.Population = 1 }},
+		{"zero vulnerable", func(c *Config) { c.VulnerableFraction = 0 }},
+		{"fraction above one", func(c *Config) { c.VulnerableFraction = 2 }},
+		{"zero send rate", func(c *Config) { c.SendRatePerHour = 0 }},
+		{"zero read rate", func(c *Config) { c.ReadRatePerHour = 0 }},
+		{"bad AF", func(c *Config) { c.AcceptanceFactor = 0 }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := Build(DefaultConfig(), nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	cfg.Population = 10
+	m, err := Build(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 shared pool + 4 places per phone.
+	if got, want := len(m.SAN.Places()), 1+4*10; got != want {
+		t.Errorf("places = %d, want %d", got, want)
+	}
+	// 2 activities per phone.
+	if got, want := len(m.SAN.Activities()), 2*10; got != want {
+		t.Errorf("activities = %d, want %d", got, want)
+	}
+	if m.InfectedPool == nil {
+		t.Fatal("infected pool missing")
+	}
+}
+
+func TestSeedCountsInPool(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	cfg.Population = 8
+	root := rng.New(3)
+	m, err := Build(cfg, root.Stream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := san.NewExecution(m.SAN, root.Stream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.Marking().Get(m.InfectedPool); got != 1 {
+		t.Errorf("initial pool = %d, want 1 (the seed)", got)
+	}
+}
+
+func TestRunSpreadsAndConserves(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	cfg.Population = 25
+	infected, err := Run(cfg, 5, 300*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infected < 2 {
+		t.Errorf("SAN model did not spread: %d infected", infected)
+	}
+	vulnerable := int(cfg.VulnerableFraction*float64(cfg.Population) + 0.5)
+	if infected > vulnerable {
+		t.Errorf("infected %d exceeds vulnerable pool %d", infected, vulnerable)
+	}
+}
+
+// TestPlateauMatchesConsentModel is the formalism-level cross-check: the
+// SAN expression of the phone model must plateau at vulnerable x eventual
+// acceptance, like the production simulator and the analytic model.
+func TestPlateauMatchesConsentModel(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	cfg.Population = 30
+	const reps = 8
+	total := 0
+	for seed := uint64(1); seed <= reps; seed++ {
+		infected, err := Run(cfg, seed, 2000*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += infected
+	}
+	mean := float64(total) / reps
+	vulnerable := cfg.VulnerableFraction * float64(cfg.Population)
+	// The seed is infected with certainty; the rest accept with the
+	// eventual-acceptance probability.
+	want := 1 + (vulnerable-1)*mms.EventualAcceptance(cfg.AcceptanceFactor)
+	if mean < want*0.7 || mean > want*1.3 {
+		t.Errorf("SAN plateau mean = %.1f, consent model predicts %.1f", mean, want)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	cfg.Population = 15
+	a, err := Run(cfg, 11, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 11, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,227 @@
+// Package stats provides the summary statistics used to aggregate simulation
+// replications: streaming mean/variance (Welford), Student-t confidence
+// intervals, quantiles, and batch means.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance in a numerically stable
+// way. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (n-1 denominator); it is 0
+// for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Merge combines another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// CI returns the half-width of a two-sided Student-t confidence interval for
+// the mean at the given confidence level (e.g. 0.95). It returns 0 for fewer
+// than two observations.
+func (w *Welford) CI(level float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	t := tQuantile(level, w.n-1)
+	return t * w.StdErr()
+}
+
+// tQuantile approximates the two-sided Student-t critical value for the
+// given confidence level and degrees of freedom. It uses the standard
+// Cornish–Fisher style expansion of the t quantile around the normal
+// quantile, accurate to ~1e-3 for df >= 3, which is ample for CI reporting.
+func tQuantile(level float64, df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	p := 1 - (1-level)/2 // one-sided quantile
+	z := normQuantile(p)
+	d := float64(df)
+	z2 := z * z
+	// Peiser's expansion.
+	g1 := (z2 + 1) * z / 4
+	g2 := ((5*z2+16)*z2 + 3) * z / 96
+	g3 := (((3*z2+19)*z2+17)*z2 - 15) * z / 384
+	g4 := ((((79*z2+776)*z2+1482)*z2-1920)*z2 - 945) * z / 92160
+	return z + g1/d + g2/(d*d) + g3/(d*d*d) + g4/(d*d*d*d)
+}
+
+// normQuantile returns the standard normal quantile via the
+// Beasley–Springer–Moro rational approximation.
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R default). It returns
+// an error for empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile fraction outside [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// BatchMeans splits xs into batchCount equal batches (dropping any
+// remainder) and returns the per-batch means. It is used to build confidence
+// intervals from a single long autocorrelated run. It returns an error if
+// there are fewer observations than batches.
+func BatchMeans(xs []float64, batchCount int) ([]float64, error) {
+	if batchCount <= 0 {
+		return nil, errors.New("stats: batch count must be positive")
+	}
+	if len(xs) < batchCount {
+		return nil, errors.New("stats: fewer observations than batches")
+	}
+	size := len(xs) / batchCount
+	means := make([]float64, 0, batchCount)
+	for b := 0; b < batchCount; b++ {
+		means = append(means, Mean(xs[b*size:(b+1)*size]))
+	}
+	return means, nil
+}
+
+// Summary is a compact description of a sample: mean, CI half-width, and
+// extrema. It is the per-grid-point aggregate reported for every curve.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	CIHalf95 float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var w Welford
+	minV, maxV := xs[0], xs[0]
+	for _, x := range xs {
+		w.Add(x)
+		minV = math.Min(minV, x)
+		maxV = math.Max(maxV, x)
+	}
+	return Summary{
+		N:        w.N(),
+		Mean:     w.Mean(),
+		StdDev:   w.StdDev(),
+		CIHalf95: w.CI(0.95),
+		Min:      minV,
+		Max:      maxV,
+	}
+}

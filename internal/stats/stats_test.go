@@ -1,0 +1,337 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasic(t *testing.T) {
+	t.Parallel()
+
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if want := 32.0 / 7.0; math.Abs(w.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), want)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	t.Parallel()
+
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 || w.CI(0.95) != 0 {
+		t.Error("zero-value Welford not all zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	t.Parallel()
+
+	var w Welford
+	w.Add(42)
+	if w.Variance() != 0 {
+		t.Errorf("single-sample variance = %v, want 0", w.Variance())
+	}
+	if w.CI(0.95) != 0 {
+		t.Errorf("single-sample CI = %v, want 0", w.CI(0.95))
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 7, 6, 0}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Welford
+	for _, x := range xs[:4] {
+		a.Add(x)
+	}
+	for _, x := range xs[4:] {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v, want %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	t.Parallel()
+
+	var a, b Welford
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Errorf("merge into empty: N=%d mean=%v", a.N(), a.Mean())
+	}
+	var empty Welford
+	a.Merge(empty)
+	if a.N() != 2 {
+		t.Errorf("merge of empty changed N to %d", a.N())
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	t.Parallel()
+
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959964,
+		0.995:  2.575829,
+		0.84:   0.994458,
+		0.025:  -1.959964,
+		0.0005: -3.290527,
+	}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-3 {
+			t.Errorf("normQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("normQuantile boundary values not infinite")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	t.Parallel()
+
+	// Reference values from standard t tables (two-sided 95%).
+	cases := map[int]float64{
+		5:   2.5706,
+		10:  2.2281,
+		20:  2.0860,
+		30:  2.0423,
+		100: 1.9840,
+	}
+	for df, want := range cases {
+		if got := tQuantile(0.95, df); math.Abs(got-want) > 0.01 {
+			t.Errorf("tQuantile(0.95, %d) = %v, want %v", df, got, want)
+		}
+	}
+	if got := tQuantile(0.95, 0); got != 0 {
+		t.Errorf("tQuantile with df=0 = %v, want 0", got)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	t.Parallel()
+
+	var small, large Welford
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if small.CI(0.95) <= large.CI(0.95) {
+		t.Errorf("CI did not shrink: n=10 -> %v, n=1000 -> %v", small.CI(0.95), large.CI(0.95))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{1, 9},
+		{0.5, 3.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN fraction accepted")
+	}
+	got, err := Quantile([]float64{7}, 0.3)
+	if err != nil || got != 7 {
+		t.Errorf("single-element quantile = %v, %v", got, err)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{5, 1, 3}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMean(t *testing.T) {
+	t.Parallel()
+
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	means, err := BatchMeans(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if means[i] != want[i] {
+			t.Errorf("batch %d mean = %v, want %v", i, means[i], want[i])
+		}
+	}
+	if _, err := BatchMeans(xs, 0); err == nil {
+		t.Error("zero batches accepted")
+	}
+	if _, err := BatchMeans(xs[:2], 3); err == nil {
+		t.Error("more batches than observations accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.CIHalf95 <= 0 {
+		t.Errorf("CIHalf95 = %v, want positive", s.CIHalf95)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", zero.N)
+	}
+}
+
+// Property: Welford mean equals naive mean; variance is non-negative.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, v := range raw {
+			x := float64(v)
+			w.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(raw))
+		return math.Abs(w.Mean()-naive) < 1e-9 && w.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging a split sample equals accumulating the whole sample.
+func TestQuickWelfordMergeAssociative(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []int8, cut uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		k := int(cut) % len(raw)
+		var whole, a, b Welford
+		for _, v := range raw {
+			whole.Add(float64(v))
+		}
+		for _, v := range raw[:k] {
+			a.Add(float64(v))
+		}
+		for _, v := range raw[k:] {
+			b.Add(float64(v))
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []int8, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, err1 := Quantile(xs, q1)
+		v2, err2 := Quantile(xs, q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lo, _ := Quantile(xs, 0)
+		hi, _ := Quantile(xs, 1)
+		return v1 <= v2+1e-12 && v1 >= lo-1e-12 && v2 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL checks the trace parser never panics and only returns
+// events it can re-serialize.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"at":0,"kind":"infected","phone":3}`)
+	f.Add(`{"at":100,"kind":"sent","phone":1,"recipients":5}` + "\n" +
+		`{"at":200,"kind":"patched","phone":2}`)
+	f.Add("")
+	f.Add("{")
+	f.Add("null")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed events must survive a write/read cycle.
+		rec := &Recorder{}
+		rec.events = events
+		var sb strings.Builder
+		if err := rec.WriteJSONL(&sb); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadJSONL(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed count: %d -> %d", len(events), len(back))
+		}
+	})
+}

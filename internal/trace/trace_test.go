@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/rng"
+)
+
+func tracedNet(t *testing.T, rec *Recorder) (*mms.Network, *des.Simulation) {
+	t.Helper()
+	g, err := graph.NewGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := mms.Config{
+		DeliveryDelay:          rng.Constant{V: time.Second},
+		ReadDelay:              rng.Constant{V: time.Second},
+		AcceptanceFactor:       2,
+		GatewayDetectThreshold: 1000,
+	}
+	sim := des.New()
+	net, err := mms.New(g, []bool{true, true, true, true}, cfg, sim, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Attach(net, nil); err != nil {
+		t.Fatal(err)
+	}
+	return net, sim
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	t.Parallel()
+
+	rec := NewRecorder(0)
+	net, sim := tracedNet(t, rec)
+	if err := net.SeedInfection(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1)}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if err := net.Patch(2); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := rec.CountByKind()
+	if counts[KindInfected] != 2 {
+		t.Errorf("infected events = %d, want 2 (seed + target)", counts[KindInfected])
+	}
+	if counts[KindSendAttempt] != 1 || counts[KindSent] != 1 {
+		t.Errorf("send events = %d/%d, want 1/1", counts[KindSendAttempt], counts[KindSent])
+	}
+	if counts[KindPatched] != 1 {
+		t.Errorf("patched events = %d, want 1", counts[KindPatched])
+	}
+
+	events := rec.Events()
+	prev := time.Duration(-1)
+	for _, e := range events {
+		if e.At < prev {
+			t.Fatalf("events out of order: %v after %v", e.At, prev)
+		}
+		prev = e.At
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	t.Parallel()
+
+	rec := NewRecorder(3)
+	net, _ := tracedNet(t, rec)
+	for i := 0; i < 10; i++ {
+		if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (limited)", rec.Len())
+	}
+	if !rec.Truncated() {
+		t.Error("Truncated = false at limit")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	t.Parallel()
+
+	rec := NewRecorder(0)
+	net, _ := tracedNet(t, rec)
+	if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.Events()
+	ev[0].Phone = 99
+	if rec.Events()[0].Phone == 99 {
+		t.Error("Events exposes internal storage")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	rec := NewRecorder(0)
+	net, sim := tracedNet(t, rec)
+	if err := net.SeedInfection(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1), mms.ValidTarget(2)}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != rec.Len() {
+		t.Fatalf("round trip changed count: %d -> %d", rec.Len(), len(back))
+	}
+	for i, e := range rec.Events() {
+		if back[i] != e {
+			t.Fatalf("event %d changed: %+v -> %+v", i, e, back[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	t.Parallel()
+
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed input accepted")
+	}
+	events, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Errorf("empty input: %v, %v", events, err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	t.Parallel()
+
+	rec := NewRecorder(0)
+	net, _ := tracedNet(t, rec)
+	if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+rec.Len() {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 1+rec.Len())
+	}
+	if lines[0] != "hours,kind,phone,recipients" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestAttachNilNetwork(t *testing.T) {
+	t.Parallel()
+
+	if err := NewRecorder(0).Attach(nil, nil); err == nil {
+		t.Error("nil network accepted")
+	}
+}

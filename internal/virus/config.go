@@ -1,0 +1,154 @@
+// Package virus implements the paper's parameterized mobile-phone virus
+// behaviour model: once a phone is infected, the engine schedules outgoing
+// infected MMS messages according to the virus's targeting strategy, pacing,
+// quotas, and dormancy, and reacts to response mechanisms (deferred sends
+// from monitoring, permanent blocks from blacklisting, and patch-induced
+// shutdown).
+package virus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Targeting selects how a virus chooses message recipients.
+type Targeting uint8
+
+// Targeting strategies.
+const (
+	// TargetContacts addresses phones from the infected phone's contact
+	// list (Viruses 1, 2, and 4).
+	TargetContacts Targeting = iota + 1
+	// TargetRandom dials random phone numbers, of which only
+	// ValidNumberFraction belong to real phones (Virus 3).
+	TargetRandom
+)
+
+// ContactOrder selects how contact-list targets are sequenced.
+type ContactOrder uint8
+
+// Contact orderings.
+const (
+	// OrderCycle walks the contact list in order, wrapping around.
+	OrderCycle ContactOrder = iota + 1
+	// OrderRandom picks uniformly random contacts per message.
+	OrderRandom
+)
+
+// QuotaKind selects how a virus's self-imposed message quota resets.
+type QuotaKind uint8
+
+// Quota kinds.
+const (
+	// QuotaNone imposes no limit (Virus 3).
+	QuotaNone QuotaKind = iota + 1
+	// QuotaPerPeriod allows MessagesPerQuota messages per fixed Period
+	// from the time of infection (Virus 2's 30 messages per 24 h).
+	QuotaPerPeriod
+	// QuotaPerReboot allows MessagesPerQuota messages between phone
+	// reboots, whose intervals follow RebootInterval (Virus 1's 30
+	// messages between ~daily reboots).
+	QuotaPerReboot
+)
+
+// Config declares a virus's behaviour. It corresponds to the input
+// parameters of the paper's Möbius model.
+type Config struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Targeting picks the recipient-selection strategy.
+	Targeting Targeting
+	// ContactOrder sequences contact-list targets (TargetContacts only).
+	ContactOrder ContactOrder
+	// RecipientsPerMessage is the number of addressees per infected MMS
+	// (Virus 2 uses up to 100; the others use 1).
+	RecipientsPerMessage int
+	// ValidNumberFraction is the fraction of dialed random numbers that
+	// reach real phones (TargetRandom only; the paper uses 1/3).
+	ValidNumberFraction float64
+	// MinWait is the virus's self-imposed minimum wait between consecutive
+	// messages.
+	MinWait time.Duration
+	// ExtraWait is additional random wait on top of MinWait; nil means
+	// none.
+	ExtraWait rng.Dist
+	// Dormancy delays the start of sending after infection (Virus 4's one
+	// hour).
+	Dormancy time.Duration
+	// Quota selects the message-quota regime.
+	Quota QuotaKind
+	// MessagesPerQuota is the message allowance per quota window.
+	MessagesPerQuota int
+	// Period is the fixed quota window length (QuotaPerPeriod).
+	Period time.Duration
+	// PeriodAligned anchors quota windows to global simulation time
+	// (boundaries at multiples of Period) instead of each phone's
+	// infection time, and makes newly infected phones hold their first
+	// burst until the next boundary. The paper's step-shaped Virus 2
+	// curve — population-wide bursts at daily boundaries — requires this
+	// synchronization (see DESIGN.md).
+	PeriodAligned bool
+	// RebootInterval is the distribution of time between reboots
+	// (QuotaPerReboot).
+	RebootInterval rng.Dist
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return errors.New("virus: config needs a name")
+	}
+	switch c.Targeting {
+	case TargetContacts:
+		if c.ContactOrder != OrderCycle && c.ContactOrder != OrderRandom {
+			return fmt.Errorf("virus %s: invalid contact order %d", c.Name, c.ContactOrder)
+		}
+	case TargetRandom:
+		if c.ValidNumberFraction <= 0 || c.ValidNumberFraction > 1 {
+			return fmt.Errorf("virus %s: valid-number fraction %v outside (0,1]", c.Name, c.ValidNumberFraction)
+		}
+	default:
+		return fmt.Errorf("virus %s: invalid targeting %d", c.Name, c.Targeting)
+	}
+	if c.RecipientsPerMessage < 1 {
+		return fmt.Errorf("virus %s: recipients per message %d < 1", c.Name, c.RecipientsPerMessage)
+	}
+	if c.MinWait < 0 {
+		return fmt.Errorf("virus %s: negative minimum wait", c.Name)
+	}
+	if c.Dormancy < 0 {
+		return fmt.Errorf("virus %s: negative dormancy", c.Name)
+	}
+	switch c.Quota {
+	case QuotaNone:
+	case QuotaPerPeriod:
+		if c.MessagesPerQuota < 1 {
+			return fmt.Errorf("virus %s: per-period quota %d < 1", c.Name, c.MessagesPerQuota)
+		}
+		if c.Period <= 0 {
+			return fmt.Errorf("virus %s: non-positive quota period", c.Name)
+		}
+	case QuotaPerReboot:
+		if c.MessagesPerQuota < 1 {
+			return fmt.Errorf("virus %s: per-reboot quota %d < 1", c.Name, c.MessagesPerQuota)
+		}
+		if c.RebootInterval == nil {
+			return fmt.Errorf("virus %s: reboot quota without reboot interval", c.Name)
+		}
+	default:
+		return fmt.Errorf("virus %s: invalid quota kind %d", c.Name, c.Quota)
+	}
+	return nil
+}
+
+// wait samples the inter-message wait: MinWait plus optional extra.
+func (c Config) wait(src *rng.Source) time.Duration {
+	w := c.MinWait
+	if c.ExtraWait != nil {
+		w += c.ExtraWait.Sample(src)
+	}
+	return w
+}

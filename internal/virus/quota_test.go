@@ -1,0 +1,128 @@
+package virus
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/mms"
+	"repro/internal/rng"
+)
+
+// Property: under a per-period quota, the engine never sends more than the
+// allowance within any single quota window.
+func TestQuickPerPeriodQuotaNeverExceeded(t *testing.T) {
+	t.Parallel()
+
+	f := func(seed uint32, rawQuota, rawWaitMin uint8) bool {
+		quota := int(rawQuota%10) + 1
+		waitMin := time.Duration(rawWaitMin%30+1) * time.Minute
+		net, sim := quickNet(t, 12, uint64(seed))
+		cfg := Config{
+			Name:                 "q",
+			Targeting:            TargetContacts,
+			ContactOrder:         OrderCycle,
+			RecipientsPerMessage: 1,
+			MinWait:              waitMin,
+			Quota:                QuotaPerPeriod,
+			MessagesPerQuota:     quota,
+			Period:               24 * time.Hour,
+		}
+		eng, err := Attach(cfg, net, rng.New(uint64(seed)+1))
+		if err != nil {
+			return false
+		}
+		if err := net.SetAcceptanceFactor(1e-9); err != nil {
+			return false
+		}
+		if err := net.SeedInfection(0); err != nil {
+			return false
+		}
+		// Check cumulative counts at each window boundary: after w full
+		// windows, at most w*quota messages.
+		for w := 1; w <= 3; w++ {
+			sim.RunUntil(time.Duration(w)*24*time.Hour - time.Second)
+			if eng.Stats().MessagesSent > uint64(w*quota) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dormancy delays the first message past the dormancy horizon
+// for every configuration.
+func TestQuickDormancyRespected(t *testing.T) {
+	t.Parallel()
+
+	f := func(seed uint32, rawDorm uint8) bool {
+		dorm := time.Duration(rawDorm%48) * time.Hour
+		net, sim := quickNet(t, 6, uint64(seed))
+		cfg := Config{
+			Name:                 "d",
+			Targeting:            TargetContacts,
+			ContactOrder:         OrderRandom,
+			RecipientsPerMessage: 1,
+			MinWait:              time.Minute,
+			Dormancy:             dorm,
+			Quota:                QuotaNone,
+		}
+		eng, err := Attach(cfg, net, rng.New(uint64(seed)+2))
+		if err != nil {
+			return false
+		}
+		if err := net.SetAcceptanceFactor(1e-9); err != nil {
+			return false
+		}
+		if err := net.SeedInfection(0); err != nil {
+			return false
+		}
+		if dorm > 0 {
+			sim.RunUntil(dorm - time.Second)
+			if eng.Stats().MessagesSent != 0 {
+				return false
+			}
+		}
+		sim.RunUntil(dorm + 12*time.Hour)
+		return eng.Stats().MessagesSent > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: attempted messages always exceed or equal sent messages, and
+// engine activations never exceed the infected population.
+func TestQuickEngineCountersConsistent(t *testing.T) {
+	t.Parallel()
+
+	f := func(seed uint32) bool {
+		net, sim := quickNet(t, 15, uint64(seed))
+		eng, err := Attach(Virus3(), net, rng.New(uint64(seed)+3))
+		if err != nil {
+			return false
+		}
+		if err := net.SeedInfection(0); err != nil {
+			return false
+		}
+		sim.RunUntil(6 * time.Hour)
+		st := eng.Stats()
+		if st.MessagesAttempted < st.MessagesSent {
+			return false
+		}
+		return st.Activations == uint64(net.InfectedCount())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickNet builds a small complete-graph network for property tests.
+func quickNet(t *testing.T, n int, seed uint64) (*mms.Network, *des.Simulation) {
+	t.Helper()
+	return completeNet(t, n, fastNetConfig(), seed)
+}

@@ -1,0 +1,86 @@
+package virus
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// The four illustrative virus scenarios of Section 4.2, parameterized after
+// real mobile-phone viruses such as CommWarrior. Timing jitters
+// (ExtraWait) are calibration choices documented in DESIGN.md; the paper's
+// defining constraints (minimum waits, quotas, targeting) are verbatim.
+
+// Virus1 spreads via contact lists with a 30-minute minimum wait between
+// single-recipient messages and at most 30 messages between reboots, which
+// occur about once a day.
+func Virus1() Config {
+	return Config{
+		Name:                 "Virus 1",
+		Targeting:            TargetContacts,
+		ContactOrder:         OrderCycle,
+		RecipientsPerMessage: 1,
+		MinWait:              30 * time.Minute,
+		ExtraWait:            rng.Exponential{MeanD: 10 * time.Minute},
+		Quota:                QuotaPerReboot,
+		MessagesPerQuota:     30,
+		RebootInterval:       rng.Exponential{MeanD: 24 * time.Hour},
+	}
+}
+
+// Virus2 spreads aggressively via contact lists: only a one-minute minimum
+// wait, up to 100 recipients per message, throttled to 30 messages per
+// 24-hour period — so each day's allowance is expended within the first
+// hour, producing the paper's step-shaped infection curve.
+func Virus2() Config {
+	return Config{
+		Name:                 "Virus 2",
+		Targeting:            TargetContacts,
+		ContactOrder:         OrderCycle,
+		RecipientsPerMessage: 100,
+		MinWait:              time.Minute,
+		ExtraWait:            rng.Exponential{MeanD: 20 * time.Second},
+		Quota:                QuotaPerPeriod,
+		MessagesPerQuota:     30,
+		Period:               24 * time.Hour,
+		PeriodAligned:        true,
+	}
+}
+
+// Virus3 dials random numbers (one third of which are valid mobile numbers,
+// as in France) with a one-minute minimum wait, one recipient per message,
+// and no quota — the fastest spreader of the four.
+func Virus3() Config {
+	return Config{
+		Name:                 "Virus 3",
+		Targeting:            TargetRandom,
+		ValidNumberFraction:  1.0 / 3.0,
+		RecipientsPerMessage: 1,
+		MinWait:              time.Minute,
+		ExtraWait:            rng.Exponential{MeanD: 20 * time.Second},
+		Quota:                QuotaNone,
+	}
+}
+
+// Virus4 is the stealthy virus: dormant for one hour after infection, then
+// piggybacks on legitimate traffic — modeled as single-recipient messages to
+// random contacts at the legitimate-traffic rate (exponential inter-message
+// time, mean 75 minutes), with no explicit quota (the legitimate rate is the
+// throttle).
+func Virus4() Config {
+	return Config{
+		Name:                 "Virus 4",
+		Targeting:            TargetContacts,
+		ContactOrder:         OrderRandom,
+		RecipientsPerMessage: 1,
+		MinWait:              0,
+		ExtraWait:            rng.Exponential{MeanD: 75 * time.Minute},
+		Dormancy:             time.Hour,
+		Quota:                QuotaNone,
+	}
+}
+
+// Scenarios returns the paper's four viruses in order.
+func Scenarios() []Config {
+	return []Config{Virus1(), Virus2(), Virus3(), Virus4()}
+}
