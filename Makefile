@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w cmd examples internal bench_test.go
+
+# The full local gate: formatting, vet, race-enabled tests.
+check:
+	sh scripts/check.sh

@@ -12,19 +12,30 @@
 //
 // Response flags compose: passing several attaches them all to the same
 // run (the paper's future-work combination study).
+//
+// Fault-injection flags model unreliable infrastructure:
+//
+//	mvsim -virus 3 -scan 6h -outage 0s,6h          # gateway down for the first 6h
+//	mvsim -virus 1 -loss 0.3 -retry 3,30s,10m,0.2  # retry lost copies with backoff
+//	mvsim -virus 2 -churn 12h,20m                  # phones power-cycle (exp means)
+//	mvsim -virus 3 -reps 20 -min-reps 15 -timeout 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/mms"
 	"repro/internal/response"
+	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/virus"
 )
@@ -53,11 +64,38 @@ func run() error {
 		blacklist  = flag.Int("blacklist", 0, "blacklist threshold in messages (0 = off)")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace of one replication to this file")
 		loss       = flag.Float64("loss", 0, "carrier congestion loss probability per copy in [0,1)")
+		outage     = flag.String("outage", "", "MMSC fault windows as start,dur[,capacity] pairs joined by ';' (e.g. 0s,6h or 2h,4h,0.25)")
+		retry      = flag.String("retry", "", "delivery retry policy as attempts,base[,max[,jitter]] (e.g. 3,30s,10m,0.2)")
+		churn      = flag.String("churn", "", "phone power cycling as up,down mean durations (e.g. 12h,20m)")
+		drain      = flag.Duration("drain", 0, "mean exponential spread of the post-outage queue drain (0 = drain at once)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock run budget; salvage whatever finished (0 = none)")
+		minReps    = flag.Int("min-reps", 0, "salvage quorum: accept the run if at least this many replications survive (0 = all must)")
 	)
 	flag.Parse()
 
 	if *virusNum < 1 || *virusNum > 4 {
 		return fmt.Errorf("virus %d outside 1-4", *virusNum)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("reps %d must be at least 1", *reps)
+	}
+	if *minReps < 0 || *minReps > *reps {
+		return fmt.Errorf("min-reps %d outside [0,%d]: the salvage quorum cannot exceed -reps", *minReps, *reps)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("timeout %v negative; use a wall-clock budget like -timeout 2m", *timeout)
+	}
+	if *loss < 0 || *loss >= 1 {
+		return fmt.Errorf("loss %v outside [0,1): it is a per-copy drop probability", *loss)
+	}
+	if *detector != 0 && (*detector <= 0 || *detector > 1) {
+		return fmt.Errorf("detector accuracy %v outside (0,1]: 1 means every inspected copy is caught; try -detector 0.95", *detector)
+	}
+	if *education != 0 && (*education <= 0 || *education >= 1) {
+		return fmt.Errorf("education acceptance %v outside (0,1): it is the eventual patch-acceptance fraction; try -education 0.2", *education)
+	}
+	if *blacklist < 0 {
+		return fmt.Errorf("blacklist threshold %d negative: it is a message count; try -blacklist 10", *blacklist)
 	}
 	cfg := core.Default(virus.Scenarios()[*virusNum-1])
 	cfg.Population = *population
@@ -65,6 +103,11 @@ func run() error {
 	if *hours > 0 {
 		cfg.Horizon = time.Duration(*hours * float64(time.Hour))
 	}
+	sched, err := parseFaults(*outage, *retry, *churn, *drain)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = sched
 
 	var labels []string
 	addResponse := func(label string, f mms.ResponseFactory) {
@@ -99,6 +142,15 @@ func run() error {
 	if len(labels) > 0 {
 		label += " + " + strings.Join(labels, " + ")
 	}
+	if sched.Active() {
+		label += " + " + sched.String()
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	fig := experiment.Figure{
 		ID:     "mvsim",
 		Title:  label,
@@ -106,13 +158,19 @@ func run() error {
 		YLabel: "Infection Count",
 		Series: []experiment.Series{{Label: label, Config: cfg}},
 	}
-	fr, err := experiment.RunFigure(fig, core.Options{
-		Replications: *reps,
-		BaseSeed:     *seed,
-		GridPoints:   *grid,
+	fr, err := experiment.RunFigureContext(ctx, fig, core.Options{
+		Replications:    *reps,
+		BaseSeed:        *seed,
+		GridPoints:      *grid,
+		MinReplications: *minReps,
 	})
 	if err != nil {
 		return err
+	}
+	for _, sr := range fr.Series {
+		for _, fe := range sr.RunSet.Failed {
+			fmt.Fprintln(os.Stderr, "mvsim: salvaged past failure:", fe)
+		}
 	}
 	if *chart {
 		rendered, err := fr.RenderASCII()
@@ -168,5 +226,123 @@ func parseImmunize(s string) (dev, deploy time.Duration, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("immunize deployment window: %w", err)
 	}
+	if dev <= 0 || deploy <= 0 {
+		return 0, 0, fmt.Errorf("immunize durations must be positive, got dev=%v deploy=%v (e.g. 24h,6h)", dev, deploy)
+	}
 	return dev, deploy, nil
+}
+
+// parseFaults assembles a faults.Schedule from the fault-injection flags and
+// validates it as a whole, so a bad combination fails before any replication
+// starts rather than deep inside the run.
+func parseFaults(outage, retry, churn string, drain time.Duration) (*faults.Schedule, error) {
+	sched := &faults.Schedule{DrainSpread: drain}
+	var err error
+	if outage != "" {
+		if sched.Outages, err = parseOutages(outage); err != nil {
+			return nil, err
+		}
+	}
+	if retry != "" {
+		if sched.Retry, err = parseRetry(retry); err != nil {
+			return nil, err
+		}
+	}
+	if churn != "" {
+		if sched.Churn, err = parseChurn(churn); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if !sched.Active() {
+		// A nil schedule keeps fault-free configs on the exact seed path.
+		return nil, nil
+	}
+	return sched, nil
+}
+
+// parseOutages parses ';'-separated start,dur[,capacity] windows, e.g.
+// "0s,6h" (full outage for the first six hours) or "2h,4h,0.25;12h,1h".
+func parseOutages(s string) ([]faults.Window, error) {
+	var out []faults.Window
+	for _, spec := range strings.Split(s, ";") {
+		parts := strings.Split(spec, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("outage window %q wants start,dur[,capacity] (e.g. 0s,6h or 2h,4h,0.25)", spec)
+		}
+		start, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q start: %w", spec, err)
+		}
+		dur, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q duration: %w", spec, err)
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("outage window %q duration %v must be positive", spec, dur)
+		}
+		w := faults.Window{Start: start, End: start + dur}
+		if len(parts) == 3 {
+			w.Capacity, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("outage window %q capacity: %w", spec, err)
+			}
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// parseRetry parses attempts,base[,max[,jitter]], e.g. "3,30s,10m,0.2".
+func parseRetry(s string) (faults.RetryPolicy, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 || len(parts) > 4 {
+		return faults.RetryPolicy{}, fmt.Errorf("retry %q wants attempts,base[,max[,jitter]] (e.g. 3,30s,10m,0.2)", s)
+	}
+	attempts, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return faults.RetryPolicy{}, fmt.Errorf("retry %q attempts: %w", s, err)
+	}
+	base, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return faults.RetryPolicy{}, fmt.Errorf("retry %q base backoff: %w", s, err)
+	}
+	p := faults.RetryPolicy{MaxAttempts: attempts, Base: base}
+	if len(parts) >= 3 {
+		if p.Max, err = time.ParseDuration(parts[2]); err != nil {
+			return faults.RetryPolicy{}, fmt.Errorf("retry %q backoff cap: %w", s, err)
+		}
+	}
+	if len(parts) == 4 {
+		if p.Jitter, err = strconv.ParseFloat(parts[3], 64); err != nil {
+			return faults.RetryPolicy{}, fmt.Errorf("retry %q jitter: %w", s, err)
+		}
+	}
+	return p, nil
+}
+
+// parseChurn parses up,down mean durations for exponential power cycling,
+// e.g. "12h,20m" (phones stay on ~12h, then off ~20m).
+func parseChurn(s string) (faults.Churn, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return faults.Churn{}, fmt.Errorf("churn %q wants up,down mean durations (e.g. 12h,20m)", s)
+	}
+	up, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return faults.Churn{}, fmt.Errorf("churn %q up-time mean: %w", s, err)
+	}
+	down, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return faults.Churn{}, fmt.Errorf("churn %q down-time mean: %w", s, err)
+	}
+	if up <= 0 || down <= 0 {
+		return faults.Churn{}, fmt.Errorf("churn %q means must be positive, got up=%v down=%v", s, up, down)
+	}
+	return faults.Churn{
+		UpTime:   rng.Exponential{MeanD: up},
+		DownTime: rng.Exponential{MeanD: down},
+	}, nil
 }

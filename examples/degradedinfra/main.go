@@ -1,0 +1,102 @@
+// Degraded infrastructure: the paper credits gateway-side mechanisms with
+// containing an outbreak, but that credit silently assumes the MMSC itself
+// stays healthy. This example breaks that assumption with the faults
+// subsystem: the same Virus 3 outbreak and the same gateway scan are run
+// against a fault-free network and against one whose MMSC is down for the
+// first six hours. During the outage messages queue in the store-and-forward
+// buffer, so the gateway neither sees nor filters them — the virus is only
+// detected when the backlog drains, the scan's signature clock starts that
+// much later, and the drained burst re-seeds the outbreak from many phones
+// at once. Monitoring effectiveness collapses exactly when it is needed
+// most.
+//
+//	go run ./examples/degradedinfra
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mms"
+	"repro/internal/response"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+func main() {
+	type entry struct {
+		name  string
+		sched *faults.Schedule
+	}
+	outage := []faults.Window{{Start: 0, End: 6 * time.Hour}}
+	entries := []entry{
+		{"healthy MMSC (paper's assumption)", nil},
+		{"MMSC down for the first 6h", &faults.Schedule{
+			Outages:     outage,
+			DrainSpread: time.Minute,
+		}},
+		{"6h outage + phone churn", &faults.Schedule{
+			Outages:     outage,
+			DrainSpread: time.Minute,
+			Churn: faults.Churn{
+				UpTime:   rng.Exponential{MeanD: 12 * time.Hour},
+				DownTime: rng.Exponential{MeanD: 20 * time.Minute},
+			},
+		}},
+	}
+
+	fmt.Println("Virus 3 outbreak vs. a 2h-signature gateway scan, 24h horizon")
+	fmt.Println("same virus, same response, increasingly unreliable infrastructure")
+	fmt.Println()
+	fmt.Printf("%-36s %14s %16s %16s\n", "infrastructure", "final infected", "detected at", "150 infected at")
+
+	var baseline float64
+	for i, e := range entries {
+		cfg := core.Default(virus.Virus3())
+		cfg.Responses = []mms.ResponseFactory{response.NewScan(2 * time.Hour)}
+		cfg.Faults = e.sched
+		rs, err := core.Run(cfg, core.Options{Replications: 8, GridPoints: 96})
+		if err != nil {
+			log.Fatal(err)
+		}
+		detect := meanDetection(rs)
+		reach := "never (contained)"
+		if t, ok := rs.Band.TimeToReachMean(150); ok {
+			reach = t.Round(time.Minute).String()
+		}
+		fmt.Printf("%-36s %14.1f %16s %16s\n", e.name, rs.FinalMean(),
+			detect.Round(time.Minute), reach)
+		if i == 0 {
+			baseline = rs.FinalMean()
+		} else if rs.FinalMean() <= baseline {
+			log.Fatalf("expected %q to end worse than the healthy baseline (%.1f), got %.1f",
+				e.name, baseline, rs.FinalMean())
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The outage does not merely delay the curve: queued messages drain as a")
+	fmt.Println("burst the moment service resumes, so the scan — activated 6h late —")
+	fmt.Println("faces an outbreak already seeded from dozens of phones. Response-time")
+	fmt.Println("guarantees measured on healthy infrastructure do not transfer.")
+}
+
+// meanDetection averages the gateway's first-detection time across the
+// replications that detected the virus at all.
+func meanDetection(rs *core.RunSet) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, r := range rs.Results {
+		if r.GatewayDetected {
+			sum += r.GatewayDetectedAt
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}

@@ -10,14 +10,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/curve"
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mms"
 	"repro/internal/rng"
@@ -44,6 +47,10 @@ type Config struct {
 	Network mms.Config
 	// Responses are the mechanism factories to attach (empty = baseline).
 	Responses []mms.ResponseFactory
+	// Faults attaches an infrastructure fault schedule (MMSC outage
+	// windows, delivery retries, phone churn). Nil models the paper's
+	// always-healthy infrastructure.
+	Faults *faults.Schedule
 	// InitialInfected seeds this many distinct susceptible phones
 	// (paper: 1).
 	InitialInfected int
@@ -103,7 +110,7 @@ func (c Config) Validate() error {
 	if err := c.Virus.Validate(); err != nil {
 		return err
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // Result is the outcome of a single replication.
@@ -130,8 +137,20 @@ type Result struct {
 
 // RunOnce executes one replication of the scenario with the given seed.
 func RunOnce(cfg Config, seed uint64) (*Result, error) {
+	return RunOnceContext(context.Background(), cfg, seed)
+}
+
+// RunOnceContext executes one replication, honouring ctx: the simulation
+// horizon is executed in virtual-time slices with a cancellation check
+// between slices, so a timeout or cancel aborts a replication mid-run
+// rather than after it. Slicing never changes event order, so results are
+// bit-identical to RunOnce when the context stays live.
+func RunOnceContext(ctx context.Context, cfg Config, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	root := rng.New(seed)
 	graphSrc := root.Stream(1)
@@ -152,7 +171,11 @@ func RunOnce(cfg Config, seed uint64) (*Result, error) {
 	vulnerable := vulnerabilityMask(cfg, maskSrc)
 
 	sim := des.New()
-	net, err := mms.New(g, vulnerable, cfg.Network, sim, netSrc)
+	netCfg := cfg.Network
+	if cfg.Faults != nil {
+		netCfg.Faults = cfg.Faults
+	}
+	net, err := mms.New(g, vulnerable, netCfg, sim, netSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +207,9 @@ func RunOnce(cfg Config, seed uint64) (*Result, error) {
 		return nil, err
 	}
 
-	sim.RunUntil(cfg.Horizon)
+	if err := runHorizon(ctx, sim, cfg.Horizon); err != nil {
+		return nil, err
+	}
 
 	if cfg.PostRun != nil {
 		cfg.PostRun(net)
@@ -200,6 +225,34 @@ func RunOnce(cfg Config, seed uint64) (*Result, error) {
 	}
 	res.GatewayDetectedAt, res.GatewayDetected = net.Gateway().Detected()
 	return res, nil
+}
+
+// horizonSlices is how many virtual-time slices runHorizon splits the
+// horizon into between context checks.
+const horizonSlices = 128
+
+// runHorizon drives the simulation to the horizon in slices, checking ctx
+// between them. Advancing the clock in steps fires exactly the same events
+// in the same order as a single RunUntil call, so slicing cannot perturb
+// determinism. The check granularity is virtual time: an event flood at a
+// single instant defers cancellation until the instant completes.
+func runHorizon(ctx context.Context, sim *des.Simulation, horizon time.Duration) error {
+	step := horizon / horizonSlices
+	if step <= 0 {
+		step = horizon
+	}
+	for t := step; ; t += step {
+		if t > horizon {
+			t = horizon
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: cancelled at t=%v: %w", sim.Now(), err)
+		}
+		sim.RunUntil(t)
+		if t >= horizon {
+			return nil
+		}
+	}
 }
 
 func buildGraph(cfg Config, src *rng.Source) (*graph.Graph, error) {
@@ -246,11 +299,20 @@ func seedInfections(cfg Config, net *mms.Network, vulnerable []bool, src *rng.So
 type RunSet struct {
 	// Config echoes the scenario.
 	Config Config
-	// Results holds the per-replication outcomes in seed order.
+	// Results holds the outcomes of the replications that completed, in
+	// seed order. When every replication succeeds this is one entry per
+	// replication; under the salvage policy it holds the survivors.
 	Results []*Result
+	// Seeds holds the seed of each entry in Results.
+	Seeds []uint64
 	// Band is the cross-replication infection curve sampled on a uniform
-	// grid over [0, Horizon].
+	// grid over [0, Horizon], aggregated from Results. Nil when no
+	// replication survived.
 	Band *curve.Band
+	// Failed records the replications that errored, panicked, or were
+	// cancelled. Empty on a fully successful run; populated (with a nil
+	// Run error) when the salvage quorum was met.
+	Failed []*ReplicationError
 }
 
 // FinalMean returns the mean final infected count across replications.
@@ -276,6 +338,11 @@ type Options struct {
 	GridPoints int
 	// Parallelism caps concurrent replications (default GOMAXPROCS).
 	Parallelism int
+	// MinReplications is the salvage quorum: when positive and at least
+	// this many replications succeed, Run aggregates the survivors and
+	// records the failures in RunSet.Failed instead of returning an
+	// error. Zero demands that every replication succeed.
+	MinReplications int
 }
 
 func (o Options) withDefaults() Options {
@@ -294,45 +361,144 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ReplicationError describes one replication that failed to complete: an
+// ordinary error, a recovered panic (Stack non-empty), or a cancellation.
+// It carries the seed so the failure can be reproduced in isolation with
+// RunOnce(cfg, e.Seed).
+type ReplicationError struct {
+	// Replication is the replication's index within the run.
+	Replication int
+	// Seed is the replication's RNG seed.
+	Seed uint64
+	// Err is the underlying failure.
+	Err error
+	// Stack is the goroutine stack captured when the replication
+	// panicked; empty for ordinary errors.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *ReplicationError) Error() string {
+	if len(e.Stack) > 0 {
+		return fmt.Sprintf("core: replication %d (seed %#x) panicked: %v", e.Replication, e.Seed, e.Err)
+	}
+	return fmt.Sprintf("core: replication %d (seed %#x): %v", e.Replication, e.Seed, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ReplicationError) Unwrap() error { return e.Err }
+
+// seedStride spreads replication seeds so neighboring replications do not
+// share splitmix trajectories (verified by TestReplicationSeedStride).
+const seedStride = 0x9e3779b97f4a7c15
+
+// replicationSeed derives the seed of replication i from the base seed.
+func replicationSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*seedStride
+}
+
 // Run executes opts.Replications independent replications of cfg in
-// parallel and aggregates their infection curves.
+// parallel and aggregates their infection curves. It is RunContext with a
+// background context.
 func Run(cfg Config, opts Options) (*RunSet, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// RunContext executes the replications under ctx. Each replication is
+// crash-isolated: a panic is recovered into a *ReplicationError carrying
+// the seed and stack instead of taking the process down. All failures are
+// collected (errors.Join) rather than reported first-error-only, and a
+// RunSet with the surviving results accompanies any error, so completed
+// work is never discarded. When opts.MinReplications is positive and at
+// least that many replications succeed, the failures are recorded in
+// RunSet.Failed and the run is reported as a success (salvage policy).
+func RunContext(ctx context.Context, cfg Config, opts Options) (*RunSet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	if opts.MinReplications > opts.Replications {
+		return nil, fmt.Errorf("core: salvage quorum %d exceeds %d replications",
+			opts.MinReplications, opts.Replications)
+	}
 
 	results := make([]*Result, opts.Replications)
-	errs := make([]error, opts.Replications)
+	errs := make([]*ReplicationError, opts.Replications)
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Replications; i++ {
 		i := i
+		seed := replicationSeed(opts.BaseSeed, i)
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			// Replication seeds are spread with a large odd stride so
-			// neighboring replications do not share splitmix trajectories.
-			seed := opts.BaseSeed + uint64(i)*0x9e3779b97f4a7c15
-			results[i], errs[i] = RunOnce(cfg, seed)
+			results[i], errs[i] = runReplication(ctx, cfg, i, seed)
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: replication %d: %w", i, err)
-		}
-	}
 
-	curves := make([]*curve.Curve, len(results))
+	rs := &RunSet{Config: cfg}
+	var failed []*ReplicationError
 	for i, r := range results {
-		curves[i] = r.Infections
+		if errs[i] != nil {
+			failed = append(failed, errs[i])
+			continue
+		}
+		rs.Results = append(rs.Results, r)
+		rs.Seeds = append(rs.Seeds, replicationSeed(opts.BaseSeed, i))
 	}
-	band, err := curve.Aggregate(curves, cfg.Horizon, opts.GridPoints)
+	if len(rs.Results) > 0 {
+		curves := make([]*curve.Curve, len(rs.Results))
+		for i, r := range rs.Results {
+			curves[i] = r.Infections
+		}
+		band, err := curve.Aggregate(curves, cfg.Horizon, opts.GridPoints)
+		if err != nil {
+			return rs, err
+		}
+		rs.Band = band
+	}
+	if len(failed) == 0 {
+		return rs, nil
+	}
+	if opts.MinReplications > 0 && len(rs.Results) >= opts.MinReplications {
+		// Salvage: enough survivors to aggregate; the failures stay
+		// visible on the RunSet.
+		rs.Failed = failed
+		return rs, nil
+	}
+	joined := make([]error, len(failed))
+	for i, e := range failed {
+		joined[i] = e
+	}
+	return rs, errors.Join(joined...)
+}
+
+// runReplication executes one crash-isolated replication.
+func runReplication(ctx context.Context, cfg Config, i int, seed uint64) (res *Result, repErr *ReplicationError) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			repErr = &ReplicationError{
+				Replication: i,
+				Seed:        seed,
+				Err:         fmt.Errorf("panic: %v", r),
+				Stack:       debug.Stack(),
+			}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, &ReplicationError{Replication: i, Seed: seed,
+			Err: fmt.Errorf("cancelled before start: %w", err)}
+	}
+	r, err := RunOnceContext(ctx, cfg, seed)
 	if err != nil {
-		return nil, err
+		return nil, &ReplicationError{Replication: i, Seed: seed, Err: err}
 	}
-	return &RunSet{Config: cfg, Results: results, Band: band}, nil
+	return r, nil
 }

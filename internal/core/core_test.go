@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mms"
 	"repro/internal/rng"
@@ -282,5 +287,239 @@ func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.Replications != 10 || o.BaseSeed != 1 || o.GridPoints != 200 || o.Parallelism < 1 {
 		t.Errorf("defaults = %+v", o)
+	}
+}
+
+// panicOnce returns a PostRun hook that panics in exactly one replication
+// (the first to reach it; use Parallelism 1 for a deterministic victim).
+func panicOnce() func(*mms.Network) {
+	var fired int32
+	return func(*mms.Network) {
+		if atomic.AddInt32(&fired, 1) == 1 {
+			panic("injected replication failure")
+		}
+	}
+}
+
+func TestRunRecoversPanickingReplication(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.PostRun = panicOnce()
+	rs, err := Run(cfg, Options{Replications: 3, GridPoints: 10, Parallelism: 1})
+	if err == nil {
+		t.Fatal("panicking replication did not surface as an error")
+	}
+	var rep *ReplicationError
+	if !errors.As(err, &rep) {
+		t.Fatalf("error %v does not unwrap to *ReplicationError", err)
+	}
+	if rep.Replication != 0 {
+		t.Errorf("panicked replication = %d, want 0 (serial order)", rep.Replication)
+	}
+	if rep.Seed != 1 {
+		t.Errorf("ReplicationError.Seed = %#x, want the base seed 1", rep.Seed)
+	}
+	if len(rep.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+	if !strings.Contains(rep.Error(), "panicked") {
+		t.Errorf("Error() = %q, want mention of the panic", rep.Error())
+	}
+	// Partial results: the surviving replications are returned alongside
+	// the error, aggregated into a band.
+	if rs == nil {
+		t.Fatal("no RunSet alongside the error")
+	}
+	if len(rs.Results) != 2 || len(rs.Seeds) != 2 {
+		t.Fatalf("surviving results = %d (seeds %d), want 2", len(rs.Results), len(rs.Seeds))
+	}
+	if rs.Band == nil {
+		t.Error("survivors not aggregated into a band")
+	}
+}
+
+// TestRunPartialResultsOnError is the regression test for the RunSet
+// contract: a failing replication must not discard the completed ones.
+func TestRunPartialResultsOnError(t *testing.T) {
+	t.Parallel()
+
+	var calls int32
+	cfg := smallConfig(virus.Virus3())
+	cfg.Responses = []mms.ResponseFactory{func() mms.Response {
+		return failOnceResponse{firstCall: atomic.AddInt32(&calls, 1) == 1}
+	}}
+	rs, err := Run(cfg, Options{Replications: 4, GridPoints: 10, Parallelism: 1})
+	if err == nil {
+		t.Fatal("failing replication reported no error")
+	}
+	if rs == nil {
+		t.Fatal("completed results discarded on error")
+	}
+	if len(rs.Results) != 3 {
+		t.Fatalf("got %d surviving results, want 3", len(rs.Results))
+	}
+	if rs.Band == nil {
+		t.Error("survivors not aggregated")
+	}
+	for i, r := range rs.Results {
+		if r == nil {
+			t.Errorf("surviving result %d is nil", i)
+		}
+	}
+	var rep *ReplicationError
+	if !errors.As(err, &rep) || rep.Replication != 0 || len(rep.Stack) != 0 {
+		t.Errorf("error %v, want a non-panic ReplicationError for replication 0", err)
+	}
+}
+
+type failOnceResponse struct{ firstCall bool }
+
+func (f failOnceResponse) Name() string { return "fail-once" }
+func (f failOnceResponse) Attach(*mms.Network, *rng.Source) error {
+	if f.firstCall {
+		return errors.New("injected attach failure")
+	}
+	return nil
+}
+
+func TestRunSalvageQuorum(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.PostRun = panicOnce()
+	rs, err := Run(cfg, Options{Replications: 4, GridPoints: 10, Parallelism: 1, MinReplications: 3})
+	if err != nil {
+		t.Fatalf("salvage with 3/4 survivors errored: %v", err)
+	}
+	if len(rs.Results) != 3 {
+		t.Fatalf("got %d results, want 3 survivors", len(rs.Results))
+	}
+	if len(rs.Failed) != 1 {
+		t.Fatalf("got %d recorded failures, want 1", len(rs.Failed))
+	}
+	if rs.Failed[0].Replication != 0 || len(rs.Failed[0].Stack) == 0 {
+		t.Errorf("recorded failure = %+v, want replication 0 with a stack", rs.Failed[0])
+	}
+	if rs.Band == nil || rs.FinalMean() < 1 {
+		t.Error("salvaged band missing or empty")
+	}
+
+	// Below quorum the same scenario is an error again.
+	cfg.PostRun = func(*mms.Network) { panic("all replications fail") }
+	if _, err := Run(cfg, Options{Replications: 4, GridPoints: 10, Parallelism: 1, MinReplications: 3}); err == nil {
+		t.Error("0/4 survivors met a quorum of 3")
+	}
+
+	// A quorum above the replication count is a configuration error.
+	if _, err := Run(smallConfig(virus.Virus3()), Options{Replications: 2, MinReplications: 3}); err == nil {
+		t.Error("quorum above replication count accepted")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	t.Parallel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := smallConfig(virus.Virus3())
+	rs, err := RunContext(ctx, cfg, Options{Replications: 3, GridPoints: 10})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(rs.Results) != 0 || rs.Band != nil {
+		t.Errorf("cancelled run produced results: %d results, band %v", len(rs.Results), rs.Band != nil)
+	}
+	var rep *ReplicationError
+	if !errors.As(err, &rep) {
+		t.Error("cancellation not wrapped in ReplicationError")
+	}
+}
+
+func TestRunOnceContextMatchesRunOnce(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	plain, err := RunOnce(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, err := RunOnceContext(context.Background(), cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalInfected != sliced.FinalInfected || plain.Network != sliced.Network {
+		t.Errorf("sliced horizon diverged: %+v vs %+v", plain.Network, sliced.Network)
+	}
+}
+
+// TestFaultScheduleDeterministicAcrossRuns is the acceptance check that an
+// identical seed and identical faults.Schedule reproduce a byte-identical
+// aggregated curve.
+func TestFaultScheduleDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+
+	cfg := smallConfig(virus.Virus3())
+	cfg.Faults = &faults.Schedule{
+		Outages: []faults.Window{{Start: 2 * time.Hour, End: 8 * time.Hour, Capacity: 0.2}},
+		Retry:   faults.RetryPolicy{MaxAttempts: 3, Base: 30 * time.Second, Jitter: 0.3},
+		Churn: faults.Churn{
+			UpTime:   rng.Exponential{MeanD: 10 * time.Hour},
+			DownTime: rng.Exponential{MeanD: 30 * time.Minute},
+		},
+	}
+	opts := Options{Replications: 3, GridPoints: 20}
+	a, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Band, b.Band) {
+		t.Error("same seed and schedule, different aggregated bands")
+	}
+	for i := range a.Results {
+		if a.Results[i].Network != b.Results[i].Network {
+			t.Errorf("replication %d metrics diverged:\n%+v\n%+v",
+				i, a.Results[i].Network, b.Results[i].Network)
+		}
+	}
+
+	// The schedule must actually bite: the faulty band differs from the
+	// fault-free one.
+	clean := cfg
+	clean.Faults = nil
+	base, err := Run(clean, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Band, base.Band) {
+		t.Error("fault schedule had no effect on the aggregated band")
+	}
+}
+
+// TestReplicationSeedStride pins the claim on the replication seed spread:
+// neighboring seeds must yield non-overlapping generator trajectories for
+// at least the first 10,000 draws.
+func TestReplicationSeedStride(t *testing.T) {
+	t.Parallel()
+
+	const reps = 8
+	const draws = 10000
+	seen := make(map[uint64]int, reps*draws)
+	for i := 0; i < reps; i++ {
+		src := rng.New(replicationSeed(1, i))
+		for d := 0; d < draws; d++ {
+			v := src.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("draw collision between replication streams %d and %d (value %#x)", prev, i, v)
+			}
+			seen[v] = i
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -43,13 +44,21 @@ func (fr *FigureResult) SeriesByLabel(label string) (*SeriesResult, bool) {
 
 // RunFigure executes every series of the figure with the given options.
 func RunFigure(fig Figure, opts core.Options) (*FigureResult, error) {
+	return RunFigureContext(context.Background(), fig, opts)
+}
+
+// RunFigureContext is RunFigure under a context: a cancellation or timeout
+// aborts in-flight replications. Series inherit core.RunContext's salvage
+// semantics, so a series whose surviving replications meet
+// opts.MinReplications still contributes its aggregated band.
+func RunFigureContext(ctx context.Context, fig Figure, opts core.Options) (*FigureResult, error) {
 	if len(fig.Series) == 0 {
 		return nil, fmt.Errorf("experiment: figure %s has no series", fig.ID)
 	}
 	start := time.Now()
 	out := &FigureResult{Figure: fig, Series: make([]SeriesResult, 0, len(fig.Series))}
 	for _, s := range fig.Series {
-		rs, err := core.Run(s.Config, opts)
+		rs, err := core.RunContext(ctx, s.Config, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s / %s: %w", fig.ID, s.Label, err)
 		}

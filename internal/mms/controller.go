@@ -70,5 +70,11 @@ type SendResult struct {
 	GatewayDropped bool
 	// Delivered is the number of recipients the message was scheduled for
 	// delivery to (valid targets of a message that passed the gateway).
+	// Copies recovered later by the fault-injection retry policy are not
+	// counted here.
 	Delivered int
+	// Queued reports that an infrastructure fault window held the message
+	// in the MMSC store-and-forward queue; it will transit — and its
+	// delivery fate be decided — when the window closes.
+	Queued bool
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -43,6 +44,13 @@ type Config struct {
 	// are visible only to controllers implementing LegitTrafficObserver,
 	// making monitoring false positives measurable.
 	LegitSendInterval rng.Dist
+	// Faults attaches an infrastructure fault schedule: MMSC outage and
+	// degraded-capacity windows (messages queue in the store-and-forward
+	// buffer and drain on recovery), per-delivery retry with exponential
+	// backoff, and phone churn. Nil injects nothing. All fault randomness
+	// comes from dedicated streams, so attaching a schedule never perturbs
+	// the fault-free trajectory of the other streams.
+	Faults *faults.Schedule
 }
 
 // trialPeriod is the duplicate-suppression window: one consent trial per
@@ -72,7 +80,7 @@ func (c Config) validate() error {
 	case c.DeliveryLossProb < 0 || c.DeliveryLossProb >= 1:
 		return fmt.Errorf("mms: delivery loss probability %v outside [0,1)", c.DeliveryLossProb)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // Metrics counts network activity for reports.
@@ -81,13 +89,21 @@ type Metrics struct {
 	MessagesDeferred uint64 // postponed by a controller
 	MessagesBlocked  uint64 // refused permanently by a controller
 	GatewayDropped   uint64 // discarded by gateway filters
-	DeliveryLost     uint64 // copies lost to carrier congestion
+	DeliveryLost     uint64 // copies permanently lost to carrier congestion
 	Deliveries       uint64 // recipient inbox arrivals
 	Reads            uint64 // user read events
 	Acceptances      uint64 // user accepted the attachment
 	Infections       uint64 // acceptances that infected a vulnerable phone
 	Patched          uint64 // phones patched
 	LegitSent        uint64 // background legitimate messages generated
+
+	// Fault-injection counters (zero when Config.Faults is nil).
+	OutageQueued     uint64 // messages held by an MMSC fault window
+	OutageDrained    uint64 // held messages that transited on recovery
+	DeliveryRetries  uint64 // congestion-lost copies re-attempted
+	ChurnDeferred    uint64 // sends deferred because the phone was off
+	ReadsHeld        uint64 // reads postponed until the phone powered on
+	PhonePowerCycles uint64 // churn power-off events
 }
 
 // Network is the simulated mobile-phone system: phones, gateway, user
@@ -103,8 +119,16 @@ type Network struct {
 	netSrc      *rng.Source   // delivery jitter stream
 	controllers []SendController
 
+	// Fault-injection state (nil/empty when cfg.Faults injects nothing).
+	faults   *faults.Schedule
+	faultSrc *rng.Source     // outage, drain, and backoff randomness
+	churnSrc []*rng.Source   // per-phone power-cycle stream
+	churnOff []bool          // phone currently powered off
+	churnOn  []time.Duration // next power-on time, valid while off
+
 	onInfection []func(id PhoneID, at time.Duration)
 	onPatched   []func(id PhoneID, at time.Duration)
+	onFault     []func(FaultEvent)
 
 	infected int
 	metrics  Metrics
@@ -163,6 +187,19 @@ func New(g *graph.Graph, vulnerable []bool, cfg Config, sim *des.Simulation, src
 			Contacts: g.Neighbors(i),
 		}
 		net.userSrc[i] = src.Stream(0x757372<<16 | uint64(i)) // "usr" | id
+	}
+	if cfg.Faults.Active() {
+		net.faults = cfg.Faults
+		net.faultSrc = src.Stream(0x666c74) // "flt"
+		if cfg.Faults.Churn.Enabled() {
+			net.churnSrc = make([]*rng.Source, n)
+			net.churnOff = make([]bool, n)
+			net.churnOn = make([]time.Duration, n)
+			for i := 0; i < n; i++ {
+				net.churnSrc[i] = src.Stream(churnStreamName(i))
+			}
+			net.startChurn()
+		}
 	}
 	if cfg.LegitSendInterval != nil {
 		for i := 0; i < n; i++ {
@@ -311,15 +348,23 @@ func (n *Network) Patch(id PhoneID) error {
 }
 
 // Send submits one infected MMS from the given phone to targets. The send
-// controllers are consulted first; if they allow it, the message transits
-// the gateway (which may drop it) and deliveries are scheduled for each
-// valid target.
+// controllers are consulted first; if they allow it, the message enters the
+// MMSC. A fault window may hold it in the store-and-forward queue until the
+// window closes; otherwise it transits the gateway immediately (which may
+// drop it) and deliveries are scheduled for each valid target.
 func (n *Network) Send(from PhoneID, targets []Target) (SendResult, error) {
 	src := n.Phone(from)
 	if src == nil {
 		return SendResult{}, fmt.Errorf("mms: sender %d out of range", from)
 	}
 	now := n.sim.Now()
+	// A powered-off phone cannot reach the MMSC at all; the attempt is
+	// deferred until just after the next power-on.
+	if n.phoneOff(from) {
+		n.metrics.MessagesDeferred++
+		n.metrics.ChurnDeferred++
+		return SendResult{Outcome: OutcomeDeferred, RetryAt: n.churnOn[from] + time.Second}, nil
+	}
 	for _, c := range n.controllers {
 		v := c.OnSendAttempt(from, now)
 		switch v.Action {
@@ -343,9 +388,43 @@ func (n *Network) Send(from PhoneID, targets []Target) (SendResult, error) {
 	for _, c := range n.controllers {
 		c.OnSent(from, now, len(targets))
 	}
+	// MMSC store-and-forward: a fault window holds the whole message until
+	// the infrastructure recovers. The gateway neither observes nor
+	// inspects the message until it actually transits, so outbreak
+	// detection — and every response keyed to it — is delayed along with
+	// the deliveries.
+	if w, ok := n.faultWindow(now); ok && !n.faultSrc.Bool(w.Capacity) {
+		n.metrics.OutageQueued++
+		n.fireFault(FaultEvent{Kind: FaultOutageQueued, At: now, Phone: from, Recipients: len(targets)})
+		delay := w.End - now
+		if n.faults.DrainSpread > 0 {
+			delay += time.Duration(n.faultSrc.Exp(float64(n.faults.DrainSpread)))
+		}
+		held := append([]Target(nil), targets...)
+		if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
+			n.metrics.OutageDrained++
+			n.fireFault(FaultEvent{Kind: FaultOutageDrained, At: n.sim.Now(), Phone: from, Recipients: len(held)})
+			n.transit(from, held)
+		}); err != nil {
+			return SendResult{}, fmt.Errorf("mms: queue message for drain: %w", err)
+		}
+		return SendResult{Outcome: OutcomeSent, Queued: true}, nil
+	}
+	delivered, droppedCopies := n.transit(from, targets)
+	return SendResult{
+		Outcome:        OutcomeSent,
+		Delivered:      delivered,
+		GatewayDropped: droppedCopies > 0 && delivered == 0,
+	}, nil
+}
+
+// transit moves one message through the gateway: the provider observes it
+// (detection), filters inspect each recipient copy, and surviving copies
+// head for their inboxes. It returns the copies scheduled for delivery now
+// and the copies dropped by filters.
+func (n *Network) transit(from PhoneID, targets []Target) (delivered, droppedCopies int) {
+	now := n.sim.Now()
 	n.gateway.Observe(now)
-	delivered := 0
-	droppedCopies := 0
 	for _, t := range targets {
 		if !t.Valid {
 			continue
@@ -359,45 +438,65 @@ func (n *Network) Send(from PhoneID, targets []Target) (SendResult, error) {
 			n.metrics.GatewayDropped++
 			continue
 		}
-		// Carrier congestion loses copies independently.
-		if n.cfg.DeliveryLossProb > 0 && n.netSrc.Bool(n.cfg.DeliveryLossProb) {
-			n.metrics.DeliveryLost++
-			continue
-		}
-		target := t.ID
-		delivered++
-		n.metrics.Deliveries++
-		// Users who have already received readCap infected messages have an
-		// acceptance probability below the generator's resolution (AF/2^64
-		// < 2^-53); their reads can no longer change any state, so the
-		// event is elided. This keeps the event count bounded under the
-		// multi-recipient Virus 2 flood without altering the dynamics.
-		if n.phones[target].ReceivedInfected >= readCap {
-			continue
-		}
-		// Duplicate suppression: at most one consent trial per sender per
-		// target per day (Config.AllowDuplicateTrials disables this).
-		if !n.cfg.AllowDuplicateTrials {
-			key := trialKey(from, target, now)
-			if _, dup := n.trials[key]; dup {
-				continue
-			}
-			n.trials[key] = struct{}{}
-		}
-		// Inboxes need no explicit queue: each message independently
-		// reaches the user after delivery latency plus read delay.
-		delay := n.cfg.DeliveryDelay.Sample(n.netSrc) + n.cfg.ReadDelay.Sample(n.userSrc[target])
-		if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
-			n.read(target, from)
-		}); err != nil {
-			return SendResult{}, fmt.Errorf("mms: schedule delivery: %w", err)
+		if n.deliverCopy(from, t.ID, 0) {
+			delivered++
 		}
 	}
-	return SendResult{
-		Outcome:        OutcomeSent,
-		Delivered:      delivered,
-		GatewayDropped: droppedCopies > 0 && delivered == 0,
-	}, nil
+	return delivered, droppedCopies
+}
+
+// deliverCopy pushes one recipient copy toward the target's inbox. attempt
+// is 0 for the first try; when the fault schedule configures a retry
+// policy, congestion-lost copies back off exponentially and try again
+// instead of vanishing. It reports whether the copy was scheduled for
+// delivery during this attempt.
+func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
+	now := n.sim.Now()
+	// Carrier congestion loses copies independently.
+	if n.cfg.DeliveryLossProb > 0 && n.netSrc.Bool(n.cfg.DeliveryLossProb) {
+		if n.faults != nil && n.faults.Retry.Enabled() && attempt < n.faults.Retry.MaxAttempts {
+			n.metrics.DeliveryRetries++
+			n.fireFault(FaultEvent{Kind: FaultDeliveryRetry, At: now, Phone: from})
+			backoff := n.faults.Retry.Backoff(attempt+1, n.faultSrc)
+			next := attempt + 1
+			if _, err := n.sim.ScheduleAfter(backoff, func(*des.Simulation) {
+				n.deliverCopy(from, target, next)
+			}); err == nil {
+				return false
+			}
+			// A failed schedule falls through to a permanent loss.
+		}
+		n.metrics.DeliveryLost++
+		n.fireFault(FaultEvent{Kind: FaultDeliveryLost, At: now, Phone: from})
+		return false
+	}
+	n.metrics.Deliveries++
+	// Users who have already received readCap infected messages have an
+	// acceptance probability below the generator's resolution (AF/2^64
+	// < 2^-53); their reads can no longer change any state, so the
+	// event is elided. This keeps the event count bounded under the
+	// multi-recipient Virus 2 flood without altering the dynamics.
+	if n.phones[target].ReceivedInfected >= readCap {
+		return true
+	}
+	// Duplicate suppression: at most one consent trial per sender per
+	// target per day (Config.AllowDuplicateTrials disables this).
+	if !n.cfg.AllowDuplicateTrials {
+		key := trialKey(from, target, now)
+		if _, dup := n.trials[key]; dup {
+			return true
+		}
+		n.trials[key] = struct{}{}
+	}
+	// Inboxes need no explicit queue: each message independently
+	// reaches the user after delivery latency plus read delay.
+	delay := n.cfg.DeliveryDelay.Sample(n.netSrc) + n.cfg.ReadDelay.Sample(n.userSrc[target])
+	if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
+		n.read(target, from)
+	}); err != nil {
+		return false
+	}
+	return true
 }
 
 // readCap bounds per-phone read events; see Send.
@@ -413,6 +512,17 @@ func trialKey(from, target PhoneID, now time.Duration) uint64 {
 // read models the user noticing the message and deciding about the
 // attachment with probability AF/2^n.
 func (n *Network) read(id, from PhoneID) {
+	// A powered-off phone holds the message in its inbox; the user notices
+	// it once the phone is back on (churn pauses receive activity).
+	if n.phoneOff(id) {
+		n.metrics.ReadsHeld++
+		if _, err := n.sim.ScheduleAt(n.churnOn[id], func(*des.Simulation) {
+			n.read(id, from)
+		}); err != nil {
+			return
+		}
+		return
+	}
 	p := &n.phones[id]
 	p.ReceivedInfected++
 	n.metrics.Reads++

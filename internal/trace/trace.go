@@ -28,6 +28,15 @@ const (
 	KindSent        Kind = "sent"
 	KindInfected    Kind = "infected"
 	KindPatched     Kind = "patched"
+
+	// Fault-injection kinds (emitted only when the scenario attaches a
+	// faults.Schedule); the strings match mms.FaultKind.String().
+	KindOutageQueued  Kind = "outage-queued"
+	KindOutageDrained Kind = "outage-drained"
+	KindDeliveryRetry Kind = "delivery-retry"
+	KindDeliveryLost  Kind = "delivery-lost"
+	KindPhoneOff      Kind = "phone-off"
+	KindPhoneOn       Kind = "phone-on"
 )
 
 // Event is one simulation occurrence.
@@ -75,6 +84,9 @@ func (r *Recorder) Attach(n *mms.Network, _ *rng.Source) error {
 	})
 	n.OnPatched(func(id mms.PhoneID, at time.Duration) {
 		r.add(Event{At: at, Kind: KindPatched, Phone: id})
+	})
+	n.OnFault(func(ev mms.FaultEvent) {
+		r.add(Event{At: ev.At, Kind: Kind(ev.Kind.String()), Phone: ev.Phone, Recipients: ev.Recipients})
 	})
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mms"
 	"repro/internal/rng"
@@ -178,5 +179,67 @@ func TestAttachNilNetwork(t *testing.T) {
 
 	if err := NewRecorder(0).Attach(nil, nil); err == nil {
 		t.Error("nil network accepted")
+	}
+}
+
+// TestFaultEventsRecorded checks that infrastructure fault occurrences —
+// outage queueing and drain, phone power cycles — land in the trace with
+// the documented kinds.
+func TestFaultEventsRecorded(t *testing.T) {
+	t.Parallel()
+
+	g, err := graph.NewGraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mms.Config{
+		DeliveryDelay:          rng.Constant{V: time.Second},
+		ReadDelay:              rng.Constant{V: time.Second},
+		AcceptanceFactor:       2,
+		GatewayDetectThreshold: 1000,
+		Faults: &faults.Schedule{
+			Outages: []faults.Window{{Start: 0, End: time.Hour}},
+			Churn: faults.Churn{
+				UpTime:   rng.Constant{V: 2 * time.Hour},
+				DownTime: rng.Constant{V: 30 * time.Minute},
+			},
+		},
+	}
+	sim := des.New()
+	net, err := mms.New(g, []bool{true, true}, cfg, sim, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(0)
+	if err := rec.Attach(net, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Send(0, []mms.Target{mms.ValidTarget(1)}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(3 * time.Hour)
+
+	counts := rec.CountByKind()
+	if counts[KindOutageQueued] != 1 || counts[KindOutageDrained] != 1 {
+		t.Errorf("outage events = %+v, want one queued and one drained", counts)
+	}
+	if counts[KindPhoneOff] == 0 || counts[KindPhoneOn] == 0 {
+		t.Errorf("churn events missing: %+v", counts)
+	}
+
+	// Fault events round-trip through JSONL like any other kind.
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != rec.Len() {
+		t.Errorf("round-trip length %d != %d", len(back), rec.Len())
 	}
 }

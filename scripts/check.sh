@@ -1,0 +1,15 @@
+#!/bin/sh
+# Local quality gate: formatting, vet, and the full test suite under the
+# race detector. Run from the repository root (or let the cd handle it).
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l cmd examples internal bench_test.go)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race ./...
