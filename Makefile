@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt
+.PHONY: build test bench check fmt lint
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ bench:
 fmt:
 	gofmt -w cmd examples internal bench_test.go
 
-# The full local gate: formatting, vet, race-enabled tests.
+# Determinism & simulation-hygiene static analysis (see DESIGN.md §8).
+lint:
+	$(GO) run ./cmd/mvlint ./...
+
+# The full local gate: formatting, vet, mvlint, race-enabled tests.
 check:
 	sh scripts/check.sh

@@ -70,7 +70,8 @@ func run() error {
 			return fmt.Errorf("create %s: %w", path, err)
 		}
 		if err := fr.WriteCSV(f); err != nil {
-			f.Close()
+			// Best-effort close: the write error is the one worth reporting.
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

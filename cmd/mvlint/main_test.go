@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestRuleSelection(t *testing.T) {
+	t.Parallel()
+
+	checkers := analysis.DefaultCheckers()
+
+	all, err := ruleSelection(checkers, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(checkers) {
+		t.Fatalf("default selection enables %d rules, want %d", len(all), len(checkers))
+	}
+
+	only, err := ruleSelection(checkers, "wallclock,floateq", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 || !only["wallclock"] || !only["floateq"] {
+		t.Fatalf("explicit enable = %v, want wallclock+floateq", only)
+	}
+
+	without, err := ruleSelection(checkers, "", "errcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without["errcheck"] || len(without) != len(checkers)-1 {
+		t.Fatalf("disable errcheck = %v", without)
+	}
+
+	if _, err := ruleSelection(checkers, "nosuchrule", ""); err == nil {
+		t.Error("unknown -enable rule accepted")
+	}
+	if _, err := ruleSelection(checkers, "", "nosuchrule"); err == nil {
+		t.Error("unknown -disable rule accepted")
+	}
+}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiment"
 )
@@ -14,7 +17,10 @@ func TestWriteReportScaled(t *testing.T) {
 	var sb strings.Builder
 	sc := experiment.Scale{Factor: 10}
 	opts := core.Options{Replications: 2, GridPoints: 20}
-	if err := writeReport(&sb, sc, opts); err != nil {
+	// A stepped clock pins the wall-clock footer, so the report's shape is
+	// fully reproducible.
+	now := clock.Stepped(time.Unix(0, 0).UTC(), time.Minute)
+	if err := writeReport(&sb, sc, opts, now); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,6 +29,7 @@ func TestWriteReportScaled(t *testing.T) {
 		"Figure 1", "Figure 7",
 		"claim checks passed",
 		"| Series | Final infected (mean) |",
+		"Total wall clock 1m0s.",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
@@ -31,6 +38,31 @@ func TestWriteReportScaled(t *testing.T) {
 	// Every claim-bearing study must contribute check lines.
 	if strings.Count(out, "- **") < 15 {
 		t.Errorf("report has too few claim lines:\n%s", out)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+// TestWriteReportSurfacesWriteErrors pins the reportWriter contract: a
+// failing output writer must fail the run, not truncate the report
+// silently.
+func TestWriteReportSurfacesWriteErrors(t *testing.T) {
+	t.Parallel()
+
+	sc := experiment.Scale{Factor: 20}
+	opts := core.Options{Replications: 1, GridPoints: 5}
+	err := writeReport(&failWriter{budget: 64}, sc, opts, clock.Fixed(time.Unix(0, 0)))
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("want disk full error, got %v", err)
 	}
 }
 

@@ -1,0 +1,195 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// repository's determinism and simulation-hygiene invariants.
+//
+// The paper's quantitative claims rest on every replication being exactly
+// reproducible from its seed. That property is easy to break silently: one
+// wall-clock read, one range over a map that schedules events, one RNG
+// stream shared across goroutines, and two runs with the same seed diverge.
+// This package makes those conventions machine-checked. It loads and
+// type-checks every package with go/parser + go/types (no external module
+// dependencies) and runs a suite of domain-specific checkers over the typed
+// syntax trees; cmd/mvlint is the command-line driver.
+//
+// Findings can be suppressed per line with
+//
+//	//mvlint:allow <rule>[,<rule>...] — <reason>
+//
+// either trailing the offending line or on the line immediately above it.
+// The reason is mandatory; a suppression without one is itself reported
+// (rule "suppress"). See DESIGN.md §8 for the rule catalog.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	// Rule is the short rule identifier (e.g. "wallclock").
+	Rule string `json:"rule"`
+	// Pos locates the finding.
+	Pos token.Position `json:"-"`
+	// File, Line and Col mirror Pos for JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation and the expected remedy.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Checker is one analysis rule, run once per loaded package.
+type Checker interface {
+	// Name is the rule identifier used by -enable/-disable and
+	// //mvlint:allow.
+	Name() string
+	// Doc is a one-line description for `mvlint -list`.
+	Doc() string
+	// Check inspects one package and reports findings through the pass.
+	Check(p *Pass)
+}
+
+// Pass hands one package to one checker and collects its findings.
+type Pass struct {
+	// Pkg is the loaded, type-checked package under analysis.
+	Pkg *Package
+	// rule is the active checker's name, stamped on every report.
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Rule:    p.rule,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// simPackages names the import-path segments that identify simulation
+// packages: code that runs inside (or assembles) a replication and must be
+// bit-reproducible from its seed. Harness-level packages (experiment) are
+// included because they schedule replications and aggregate results that
+// feed the paper's claim checks.
+var simPackages = map[string]bool{
+	"des":        true,
+	"san":        true,
+	"sanphone":   true,
+	"mms":        true,
+	"epidemic":   true,
+	"faults":     true,
+	"core":       true,
+	"virus":      true,
+	"proximity":  true,
+	"response":   true,
+	"graph":      true,
+	"rng":        true,
+	"curve":      true,
+	"stats":      true,
+	"trace":      true,
+	"experiment": true,
+}
+
+// IsSimPackage reports whether the import path denotes a simulation package
+// (see simPackages). Classification is by path segment so it applies both
+// to this module's packages and to the self-test corpus.
+func IsSimPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if simPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsToolPackage reports whether the import path is under internal/ or cmd/,
+// the scope of the unchecked-error rule.
+func IsToolPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" || seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSimConfigPackage reports whether the package either is a simulation
+// package or configures simulations (cmd/ tools and examples/), the scope
+// of the global-RNG rule.
+func IsSimConfigPackage(path string) bool {
+	if IsSimPackage(path) {
+		return true
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultCheckers returns the full rule suite in reporting order.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		WallClock{},
+		Getenv{},
+		GlobalRand{},
+		RNGStream{},
+		MapOrder{},
+		FloatEq{},
+		ErrCheck{},
+	}
+}
+
+// Run executes the enabled checkers over the loaded packages, applies
+// //mvlint:allow suppressions, and returns the surviving diagnostics sorted
+// by position. enabled maps rule name to whether it runs; a nil map enables
+// everything.
+func Run(pkgs []*Package, checkers []Checker, enabled map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		diags = append(diags, sup.malformed...)
+		for _, c := range checkers {
+			if enabled != nil && !enabled[c.Name()] {
+				continue
+			}
+			pass := &Pass{
+				Pkg:  pkg,
+				rule: c.Name(),
+				report: func(d Diagnostic) {
+					if !sup.allows(d.Rule, d.Pos) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			c.Check(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

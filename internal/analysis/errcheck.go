@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags expression statements that call a function returning an
+// error and drop it on the floor. Scope is internal/ and cmd/: library and
+// tool code where a swallowed error hides a failed replication or a
+// truncated report. Deliberate discards stay visible as `_ = f()`.
+//
+// Excluded as never-failing or terminal-output conventions:
+// fmt.Print/Printf/Println, fmt.Fprint* to os.Stdout/os.Stderr, and methods
+// on strings.Builder and bytes.Buffer.
+type ErrCheck struct{}
+
+// Name implements Checker.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Checker.
+func (ErrCheck) Doc() string {
+	return "flag dropped error returns in internal/ and cmd/"
+}
+
+// Check implements Checker.
+func (ErrCheck) Check(p *Pass) {
+	if !IsToolPackage(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !returnsError(info, call) || excludedCallee(info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "dropped error return: handle it or discard explicitly with _ =")
+			return true
+		})
+	}
+}
+
+// excludedCallee reports whether the call is on the never-failing /
+// terminal-output exclusion list.
+func excludedCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if usedPkgPath(info, sel.Sel) == "fmt" {
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			if w, ok := call.Args[0].(*ast.SelectorExpr); ok && usedPkgPath(info, w.Sel) == "os" {
+				if w.Sel.Name == "Stdout" || w.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+			if t := info.Types[call.Args[0]].Type; t != nil && neverFailingWriter(t) {
+				return true
+			}
+		}
+		return false
+	}
+	// Methods on strings.Builder and bytes.Buffer document a nil error.
+	if recv := info.Types[sel.X].Type; recv != nil && neverFailingWriter(recv) {
+		return true
+	}
+	return false
+}
+
+// neverFailingWriter reports whether t is strings.Builder or bytes.Buffer
+// (possibly behind a pointer), whose Write methods document a nil error.
+func neverFailingWriter(t types.Type) bool {
+	switch strings.TrimPrefix(t.String(), "*") {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

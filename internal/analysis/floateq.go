@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands in simulation
+// packages. Exact float equality is almost never the intended predicate in
+// model code — accumulated values differ in the last ulp depending on
+// evaluation order — so comparisons should use an explicit tolerance.
+// Comparisons against the exact constant 0 are admitted: zero is a sentinel
+// ("mechanism off", "no delay") assigned verbatim, never computed into.
+type FloatEq struct{}
+
+// Name implements Checker.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Checker.
+func (FloatEq) Doc() string {
+	return "flag ==/!= on floats in simulation packages (exact-zero sentinels excepted)"
+}
+
+// Check implements Checker.
+func (FloatEq) Check(p *Pass) {
+	if !IsSimPackage(p.Pkg.Path) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[be.X], info.Types[be.Y]
+			if xt.Type == nil || yt.Type == nil || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+				return true
+			}
+			// Two constants compare exactly at compile time; a comparison
+			// against literal zero is a sentinel check.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isConstZero(xt.Value) || isConstZero(yt.Value) {
+				return true
+			}
+			p.Reportf(be.OpPos, "float %s comparison: use an explicit tolerance (math.Abs(a-b) < eps) or suppress with the argument why exactness holds", be.Op)
+			return true
+		})
+	}
+}
+
+// isConstZero reports whether v is the exact constant 0.
+func isConstZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}

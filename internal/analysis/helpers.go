@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// usedPkgPath returns the import path of the package an identifier use
+// resolves into, or "" when it does not resolve to an imported object.
+func usedPkgPath(info *types.Info, id *ast.Ident) string {
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isPkgFunc reports whether the call's callee is the named function from
+// the package with the given import path (exact match).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if usedPkgPath(info, sel.Sel) != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t is (or aliases) a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isRNGSource reports whether t is *rng.Source from this module's
+// internal/rng package (matched by path suffix so the self-test corpus,
+// which lives under a synthetic module path, classifies identically).
+func isRNGSource(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/rng")
+}
+
+// containsRNGSource reports whether t holds an *rng.Source directly or
+// through a pointer, slice, array, or map.
+func containsRNGSource(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return isRNGSource(t) || containsRNGSource(u.Elem())
+	case *types.Slice:
+		return containsRNGSource(u.Elem())
+	case *types.Array:
+		return containsRNGSource(u.Elem())
+	case *types.Map:
+		return containsRNGSource(u.Elem())
+	}
+	return isRNGSource(t)
+}
+
+// rootIdent descends selector and index expressions to the base identifier
+// (x in x.f[i].g), or nil when the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the [lo, hi] node span (e.g. outside a range statement's body).
+func declaredOutside(info *types.Info, id *ast.Ident, lo, hi ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() > hi.End()
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call yields an error in any result
+// position.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}

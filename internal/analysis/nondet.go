@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// WallClock forbids reading the wall clock. Simulated time is the only time
+// a replication may observe: a time.Now (or Since/Until, which call it)
+// anywhere in the module threatens reproducibility of runs and reports, so
+// the rule is module-wide. The sanctioned escape hatch is internal/clock,
+// which wraps the single allowed read behind an injectable function value.
+type WallClock struct{}
+
+// Name implements Checker.
+func (WallClock) Name() string { return "wallclock" }
+
+// Doc implements Checker.
+func (WallClock) Doc() string {
+	return "forbid time.Now/Since/Until; inject internal/clock instead"
+}
+
+// Check implements Checker.
+func (WallClock) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if usedPkgPath(p.Pkg.Info, sel.Sel) != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				p.Reportf(sel.Pos(), "wall-clock read time.%s: inject a clock (internal/clock) or suppress with a reason", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// Getenv forbids environment reads inside simulation packages: an os.Getenv
+// makes a replication's behavior depend on ambient process state that a
+// seed cannot reproduce.
+type Getenv struct{}
+
+// Name implements Checker.
+func (Getenv) Name() string { return "getenv" }
+
+// Doc implements Checker.
+func (Getenv) Doc() string {
+	return "forbid os.Getenv/LookupEnv/Environ in simulation packages"
+}
+
+// Check implements Checker.
+func (Getenv) Check(p *Pass) {
+	if !IsSimPackage(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if usedPkgPath(p.Pkg.Info, sel.Sel) != "os" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Getenv", "LookupEnv", "Environ":
+				p.Reportf(sel.Pos(), "environment read os.%s in simulation package: pass configuration explicitly", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// GlobalRand forbids math/rand, math/rand/v2, and crypto/rand in packages
+// that run or configure simulations. All randomness must flow from
+// internal/rng's seeded, named streams; ad-hoc sources (globally seeded or
+// OS-entropy backed) cannot be replayed from a replication seed. The import
+// itself is the violation — one finding per import, since nothing from
+// these packages is admissible.
+type GlobalRand struct{}
+
+// Name implements Checker.
+func (GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Checker.
+func (GlobalRand) Doc() string {
+	return "forbid math/rand and crypto/rand where simulations run or are configured"
+}
+
+// Check implements Checker.
+func (GlobalRand) Check(p *Pass) {
+	if !IsSimConfigPackage(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2", "crypto/rand":
+				p.Reportf(imp.Pos(), "import of %s: draw from internal/rng named streams instead", path)
+			}
+		}
+	}
+}

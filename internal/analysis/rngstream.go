@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGStream enforces stream discipline around *rng.Source values:
+//
+//   - a Source must not cross a `go` statement, either as an argument or as
+//     a free variable captured by the spawned function literal — Sources are
+//     not safe for concurrent use, and a shared stream makes the draw order
+//     depend on goroutine scheduling;
+//   - a Source must not live in a package-level variable — a global stream
+//     is shared across replications, so one replication's draws perturb the
+//     next's and seed reproducibility is lost. Streams are derived per
+//     replication from the named-stream constructors (rng.New at the root,
+//     Source.Stream/Split below it) and passed down explicitly.
+type RNGStream struct{}
+
+// Name implements Checker.
+func (RNGStream) Name() string { return "rngstream" }
+
+// Doc implements Checker.
+func (RNGStream) Doc() string {
+	return "forbid rng.Source in package-level vars or crossing go statements"
+}
+
+// Check implements Checker.
+func (RNGStream) Check(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if ok {
+				p.checkGlobals(gd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			for _, arg := range g.Call.Args {
+				if t := info.Types[arg].Type; t != nil && isRNGSource(t) {
+					p.Reportf(arg.Pos(), "RNG stream passed to goroutine: derive the stream inside the goroutine from a seed or stream name instead")
+				}
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				p.checkCaptures(lit, g)
+			}
+			return true
+		})
+	}
+}
+
+// checkGlobals flags package-level variables that hold Sources.
+func (p *Pass) checkGlobals(gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := p.Pkg.Info.Defs[name]
+			v, ok := obj.(*types.Var)
+			if !ok || v.Parent() != p.Pkg.Types.Scope() {
+				continue
+			}
+			if containsRNGSource(v.Type()) {
+				p.Reportf(name.Pos(), "package-level RNG stream %s: streams must be derived per replication and passed down explicitly", name.Name)
+			}
+		}
+	}
+}
+
+// checkCaptures flags free variables of Source type used inside a
+// goroutine's function literal.
+func (p *Pass) checkCaptures(lit *ast.FuncLit, span ast.Node) {
+	info := p.Pkg.Info
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, okVar := obj.(*types.Var)
+		if !okVar || seen[obj] || !isRNGSource(v.Type()) {
+			return true
+		}
+		// A variable declared outside the go statement but used inside the
+		// literal is a capture.
+		if obj.Pos() < span.Pos() || obj.Pos() > span.End() {
+			seen[obj] = true
+			p.Reportf(id.Pos(), "RNG stream %s captured by goroutine: derive the stream inside the goroutine from a seed or stream name instead", id.Name)
+		}
+		return true
+	})
+}

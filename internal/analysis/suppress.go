@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a line suppression comment:
+//
+//	//mvlint:allow wallclock — harness wall-clock cost is reporting, not simulation
+//
+// Several rules may be listed, comma-separated. The em-dash (or a plain
+// "--") separates the rule list from the mandatory human reason.
+const allowPrefix = "//mvlint:allow"
+
+// suppression is one parsed allow comment.
+type suppression struct {
+	rules map[string]bool
+	// line is the comment's own line; it covers findings on this line and
+	// the next (so the comment can trail the offending line or sit above
+	// it).
+	line int
+	file string
+}
+
+// suppressions indexes the allow comments of one package.
+type suppressions struct {
+	// byFile maps file name to the suppressions in that file.
+	byFile map[string][]suppression
+	// malformed collects diagnostics for allow comments without a reason
+	// (rule "suppress"): an unexplained suppression hides its own
+	// justification from review.
+	malformed []Diagnostic
+}
+
+// allows reports whether a finding of rule at pos is covered by an allow
+// comment on the same line or the line above.
+func (s *suppressions) allows(rule string, pos token.Position) bool {
+	for _, sup := range s.byFile[pos.Filename] {
+		if sup.rules[rule] && (sup.line == pos.Line || sup.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //mvlint:allow comment in the package.
+func collectSuppressions(pkg *Package) *suppressions {
+	out := &suppressions{byFile: map[string][]suppression{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				spec, reason := splitReason(rest)
+				rules := map[string]bool{}
+				for _, r := range strings.Split(spec, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						rules[r] = true
+					}
+				}
+				if len(rules) == 0 || reason == "" {
+					out.malformed = append(out.malformed, Diagnostic{
+						Rule:    "suppress",
+						Pos:     pos,
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Col:     pos.Column,
+						Message: "malformed suppression: want //mvlint:allow <rule>[,<rule>] — <reason>",
+					})
+					continue
+				}
+				out.byFile[pos.Filename] = append(out.byFile[pos.Filename], suppression{
+					rules: rules,
+					line:  pos.Line,
+					file:  pos.Filename,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// splitReason splits "wallclock, getenv — why" into the rule list and the
+// reason. Both "—" and "--" are accepted separators.
+func splitReason(s string) (spec, reason string) {
+	for _, sep := range []string{"—", "--"} {
+		if before, after, ok := strings.Cut(s, sep); ok {
+			return strings.TrimSpace(before), strings.TrimSpace(after)
+		}
+	}
+	return strings.TrimSpace(s), ""
+}

@@ -1,0 +1,45 @@
+// Package clean is the negative control: simulation-package code written
+// to the house rules, expected to produce zero findings. Loaded by the
+// analyzer self-tests under a simulation package path; never built by the
+// go tool.
+package clean
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Step advances simulated time without touching the wall clock.
+func Step(now, dt time.Duration) time.Duration { return now + dt }
+
+// Draw uses a locally derived named stream.
+func Draw(seed uint64) float64 {
+	src := rng.New(seed)
+	return src.Stream(0x646d6f).Float64()
+}
+
+// SortedKeys extracts and sorts map keys before order-sensitive use.
+func SortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SumSorted accumulates floats in deterministic key order.
+func SumSorted(m map[int]float64) float64 {
+	total := 0.0
+	for _, k := range SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// Close checks its error.
+func Close(f interface{ Close() error }) error {
+	return f.Close()
+}

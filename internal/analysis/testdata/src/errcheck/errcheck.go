@@ -1,0 +1,38 @@
+// Package errcheck seeds violations for the unchecked-error rule. Loaded
+// by the analyzer self-tests under an internal/ package path; never built
+// by the go tool.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+// Dropped discards error returns on the floor.
+func Dropped(w io.Writer) {
+	mayFail()                  // want `\[errcheck\] dropped error return`
+	pair()                     // want `\[errcheck\] dropped error return`
+	fmt.Fprintf(w, "report\n") // want `\[errcheck\] dropped error return`
+}
+
+// Handled checks, discards explicitly, or uses the excluded sinks: no
+// findings.
+func Handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	fmt.Println("terminal output")
+	fmt.Fprintln(os.Stderr, "diagnostics")
+	var b strings.Builder
+	fmt.Fprintf(&b, "builders never fail")
+	b.WriteString("either way")
+	return nil
+}

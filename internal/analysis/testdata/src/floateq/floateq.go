@@ -1,0 +1,40 @@
+// Package floateq seeds violations for the float-equality rule. Loaded by
+// the analyzer self-tests under a simulation package path; never built by
+// the go tool.
+package floateq
+
+// Equal compares computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want `\[floateq\] float == comparison`
+}
+
+// NotEqual compares computed floats exactly.
+func NotEqual(a, b float64) bool {
+	return a != b // want `\[floateq\] float != comparison`
+}
+
+// AgainstConstant compares against a non-zero literal.
+func AgainstConstant(p float64) bool {
+	return p == 0.95 // want `\[floateq\] float == comparison`
+}
+
+// ZeroSentinel checks the "mechanism off" sentinel: no finding.
+func ZeroSentinel(p float64) bool {
+	return p != 0
+}
+
+// Ordered comparisons are fine: no finding.
+func Ordered(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// Ints are exempt: no finding.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Allowed carries a justified suppression: no finding.
+func Allowed(stored, echoed float64) bool {
+	//mvlint:allow floateq — fixture: values are stored verbatim, equality is exact
+	return stored == echoed
+}

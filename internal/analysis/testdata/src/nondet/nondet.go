@@ -1,0 +1,31 @@
+// Package nondet seeds violations for the wallclock, getenv, and
+// globalrand rules. Loaded by the analyzer self-tests under a simulation
+// package path; never built by the go tool.
+package nondet
+
+import (
+	_ "math/rand" // want `\[globalrand\] import of math/rand`
+	"os"
+	"time"
+)
+
+// Wall reads the wall clock three ways.
+func Wall(t time.Time) time.Duration {
+	start := time.Now()      // want `\[wallclock\] wall-clock read time\.Now`
+	_ = time.Until(t)        // want `\[wallclock\] wall-clock read time\.Until`
+	return time.Since(start) // want `\[wallclock\] wall-clock read time\.Since`
+}
+
+// Env reads ambient process state.
+func Env() string {
+	if _, ok := os.LookupEnv("MV_DEBUG"); ok { // want `\[getenv\] environment read os\.LookupEnv`
+		return os.Getenv("MV_DEBUG") // want `\[getenv\] environment read os\.Getenv`
+	}
+	return ""
+}
+
+// Allowed shows a justified suppression: no finding expected.
+func Allowed() time.Time {
+	//mvlint:allow wallclock — fixture for the suppression path
+	return time.Now()
+}

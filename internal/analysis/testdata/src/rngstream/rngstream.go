@@ -1,0 +1,50 @@
+// Package rngstream seeds violations for the RNG-stream discipline rule:
+// package-level streams and streams crossing go statements. Loaded by the
+// analyzer self-tests under a simulation package path; never built by the
+// go tool.
+package rngstream
+
+import (
+	"repro/internal/rng"
+)
+
+// globalSrc is a package-level stream shared across replications.
+var globalSrc = rng.New(1) // want `\[rngstream\] package-level RNG stream globalSrc`
+
+// globalPool holds streams behind a slice.
+var globalPool []*rng.Source // want `\[rngstream\] package-level RNG stream globalPool`
+
+// Capture leaks a stream into a goroutine closure.
+func Capture(src *rng.Source, done chan struct{}) {
+	go func() {
+		_ = src.Uint64() // want `\[rngstream\] RNG stream src captured by goroutine`
+		close(done)
+	}()
+}
+
+// Pass hands a stream across the go boundary as an argument.
+func Pass(src *rng.Source, done chan struct{}) {
+	go drain(src, done) // want `\[rngstream\] RNG stream passed to goroutine`
+}
+
+func drain(src *rng.Source, done chan struct{}) {
+	_ = src.Uint64()
+	close(done)
+}
+
+// PerGoroutine derives the stream inside the goroutine from a plain seed:
+// no finding.
+func PerGoroutine(seed uint64, done chan struct{}) {
+	go func(s uint64) {
+		src := rng.New(s)
+		_ = src.Uint64()
+		close(done)
+	}(seed)
+}
+
+// Local uses a locally derived stream without goroutines: no finding.
+func Local(seed uint64) float64 {
+	src := rng.New(seed)
+	child := src.Stream(7)
+	return child.Float64()
+}

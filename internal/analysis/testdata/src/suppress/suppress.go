@@ -1,0 +1,26 @@
+// Package suppress seeds malformed suppressions: an allow comment without
+// a reason is itself a finding and suppresses nothing. Loaded by the
+// analyzer self-tests under a simulation package path; never built by the
+// go tool.
+package suppress
+
+import "time"
+
+// MissingReason has an allow comment with no reason: the comment is
+// reported and the wall-clock read stays reported too.
+func MissingReason() time.Time {
+	//mvlint:allow wallclock // want `\[suppress\] malformed suppression`
+	return time.Now() // want `\[wallclock\] wall-clock read time\.Now`
+}
+
+// EmptyRules names no rule before the separator.
+func EmptyRules() time.Time {
+	//mvlint:allow — no rule named // want `\[suppress\] malformed suppression`
+	return time.Now() // want `\[wallclock\] wall-clock read time\.Now`
+}
+
+// MultiRule suppresses two rules with one justified comment: no findings.
+func MultiRule(a, b float64) bool {
+	//mvlint:allow floateq,wallclock — fixture for the comma-separated rule list
+	return a == b && time.Now().IsZero()
+}

@@ -1,0 +1,34 @@
+// Package clock is the sanctioned wall-clock access point. Simulation
+// packages observe only simulated time; harness and reporting code that
+// wants real elapsed time takes a Clock value so tests can inject a
+// deterministic one. mvlint's wallclock rule forbids time.Now everywhere
+// else in the module — this package holds the single suppressed read.
+package clock
+
+import "time"
+
+// Clock returns the current wall-clock time. Pass one down instead of
+// calling time.Now so the call site stays testable and the dependency on
+// real time stays visible in the signature.
+type Clock func() time.Time
+
+// System reads the real wall clock.
+//
+//mvlint:allow wallclock — the module's single sanctioned wall-clock read; everything else injects a Clock
+var System Clock = time.Now
+
+// Fixed returns a Clock frozen at t, for deterministic tests.
+func Fixed(t time.Time) Clock {
+	return func() time.Time { return t }
+}
+
+// Stepped returns a Clock that starts at t and advances by step on every
+// read, so elapsed-time measurements become reproducible in tests.
+func Stepped(t time.Time, step time.Duration) Clock {
+	next := t
+	return func() time.Time {
+		now := next
+		next = next.Add(step)
+		return now
+	}
+}

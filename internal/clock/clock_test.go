@@ -1,0 +1,42 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	t.Parallel()
+
+	at := time.Date(2007, 6, 25, 9, 0, 0, 0, time.UTC)
+	c := Fixed(at)
+	if got := c(); !got.Equal(at) {
+		t.Errorf("first read = %v, want %v", got, at)
+	}
+	if got := c(); !got.Equal(at) {
+		t.Errorf("second read = %v, want %v (Fixed must not advance)", got, at)
+	}
+}
+
+func TestStepped(t *testing.T) {
+	t.Parallel()
+
+	start := time.Unix(0, 0).UTC()
+	c := Stepped(start, time.Minute)
+	for i := 0; i < 3; i++ {
+		want := start.Add(time.Duration(i) * time.Minute)
+		if got := c(); !got.Equal(want) {
+			t.Errorf("read %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSystemAdvances(t *testing.T) {
+	t.Parallel()
+
+	a := System()
+	b := System()
+	if b.Before(a) {
+		t.Errorf("System went backwards: %v then %v", a, b)
+	}
+}

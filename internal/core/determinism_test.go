@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// serializeRunSet renders every replication curve and the aggregated band
+// as text with hex-exact floats, so two runs compare byte-for-byte rather
+// than through tolerant float semantics. Any nondeterminism anywhere in
+// the pipeline — graph generation, event ordering, RNG stream layout,
+// fault sampling, aggregation — shows up as a byte difference here.
+func serializeRunSet(rs *RunSet) string {
+	var b strings.Builder
+	for i, r := range rs.Results {
+		fmt.Fprintf(&b, "replication %d seed %#x final %d\n", i, rs.Seeds[i], r.FinalInfected)
+		for _, p := range r.Infections.Points() {
+			fmt.Fprintf(&b, "  %d %x\n", p.T, p.V)
+		}
+	}
+	if rs.Band != nil {
+		b.WriteString("band\n")
+		for i, t := range rs.Band.Times {
+			fmt.Fprintf(&b, "  %d %x %x %x %x %x %x\n", t,
+				rs.Band.Mean[i], rs.Band.CI95[i],
+				rs.Band.P10[i], rs.Band.P90[i],
+				rs.Band.Min[i], rs.Band.Max[i])
+		}
+	}
+	return b.String()
+}
+
+// diffLine reports the first line where two serializations diverge, for a
+// failure message that points at the divergence instead of dumping both.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  first:  %s\n  second: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestSeedDeterminismByteIdentical is the seed-determinism regression
+// gate: two full replication sets with the same base seed must produce
+// byte-identical serialized curves, with and without an active fault
+// schedule. It subsumes pointwise DeepEqual checks — a change that
+// perturbs event order, stream assignment, or float summation order
+// anywhere in the stack fails this test before it can corrupt a figure.
+func TestSeedDeterminismByteIdentical(t *testing.T) {
+	t.Parallel()
+
+	faulty := &faults.Schedule{
+		Outages: []faults.Window{{Start: time.Hour, End: 6 * time.Hour, Capacity: 0.25}},
+		Retry:   faults.RetryPolicy{MaxAttempts: 3, Base: 30 * time.Second, Max: 10 * time.Minute, Jitter: 0.2},
+		Churn: faults.Churn{
+			UpTime:   rng.Exponential{MeanD: 12 * time.Hour},
+			DownTime: rng.Exponential{MeanD: 20 * time.Minute},
+		},
+	}
+	cases := []struct {
+		name  string
+		sched *faults.Schedule
+	}{
+		{"healthy-infrastructure", nil},
+		{"fault-schedule", faulty},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+
+			cfg := smallConfig(virus.Virus3())
+			cfg.Faults = tc.sched
+			opts := Options{Replications: 4, BaseSeed: 0xfeed, GridPoints: 25}
+
+			first, err := Run(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sa, sb := serializeRunSet(first), serializeRunSet(second)
+			if sa != sb {
+				t.Errorf("same seed, different serialized curves; first divergence at %s",
+					diffLine(sa, sb))
+			}
+			if len(sa) == 0 || first.Band == nil {
+				t.Fatal("serialization is empty; the comparison proves nothing")
+			}
+			// Guard the guard: the serialization must actually depend on
+			// the trajectory, so a different seed must change the bytes.
+			reseeded, err := Run(cfg, Options{Replications: 4, BaseSeed: 0xbeef, GridPoints: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serializeRunSet(reseeded) == sa {
+				t.Error("different base seed produced identical serialized curves")
+			}
+		})
+	}
+}
+
+// TestSerializeRunSetExactFloats pins the hex-float property the byte
+// comparison relies on: values that differ by one ULP serialize
+// differently.
+func TestSerializeRunSetExactFloats(t *testing.T) {
+	t.Parallel()
+
+	c1, c2 := curve.New(0), curve.New(0)
+	if err := c1.Append(time.Second, 1.0000000000000002); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Append(time.Second, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	a := serializeRunSet(&RunSet{Results: []*Result{{Infections: c1}}, Seeds: []uint64{1}})
+	b := serializeRunSet(&RunSet{Results: []*Result{{Infections: c2}}, Seeds: []uint64{1}})
+	if a == b {
+		t.Error("one-ULP difference not visible in serialization")
+	}
+}

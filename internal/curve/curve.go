@@ -252,6 +252,7 @@ func (c *Curve) PlateauTime() time.Duration {
 		if i > 0 {
 			prev = c.pts[i-1].V
 		}
+		//mvlint:allow floateq — step values are stored verbatim and compared unmodified, so equality is exact
 		if c.pts[i].V != prev {
 			return c.pts[i].T
 		}

@@ -81,8 +81,11 @@ func markEfficient(points []FrontierPoint) {
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		pa, pb := points[order[a]], points[order[b]]
-		if pa.Cost != pb.Cost {
-			return pa.Cost < pb.Cost
+		switch {
+		case pa.Cost < pb.Cost:
+			return true
+		case pa.Cost > pb.Cost:
+			return false
 		}
 		return pa.Prevented > pb.Prevented
 	})

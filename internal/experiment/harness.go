@@ -6,9 +6,15 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/curve"
 )
+
+// timeNow is the harness's wall-clock source for Elapsed measurements.
+// It is a package variable so tests can inject a deterministic clock
+// (clock.Fixed / clock.Stepped); simulated time never flows through it.
+var timeNow clock.Clock = clock.System
 
 // SeriesResult is one executed series of a figure.
 type SeriesResult struct {
@@ -55,7 +61,7 @@ func RunFigureContext(ctx context.Context, fig Figure, opts core.Options) (*Figu
 	if len(fig.Series) == 0 {
 		return nil, fmt.Errorf("experiment: figure %s has no series", fig.ID)
 	}
-	start := time.Now()
+	start := timeNow()
 	out := &FigureResult{Figure: fig, Series: make([]SeriesResult, 0, len(fig.Series))}
 	for _, s := range fig.Series {
 		rs, err := core.RunContext(ctx, s.Config, opts)
@@ -69,7 +75,7 @@ func RunFigureContext(ctx context.Context, fig Figure, opts core.Options) (*Figu
 			RunSet:    rs,
 		})
 	}
-	out.Elapsed = time.Since(start)
+	out.Elapsed = timeNow().Sub(start)
 	return out, nil
 }
 

@@ -385,7 +385,16 @@ func BarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
 			}
 			chosen[v] = struct{}{}
 		}
+		// Attach in sorted order: ranging the map directly leaked Go's
+		// randomized iteration order into the edge list and the endpoints
+		// slice (which biases every later draw), making the graph differ
+		// run-to-run for a fixed seed.
+		targets := make([]int, 0, len(chosen))
 		for v := range chosen {
+			targets = append(targets, v)
+		}
+		sort.Ints(targets)
+		for _, v := range targets {
 			if err := g.AddEdge(u, v); err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -313,6 +314,31 @@ func TestBarabasiAlbert(t *testing.T) {
 	}
 	if _, err := BarabasiAlbert(10, 2, nil); err == nil {
 		t.Error("nil source accepted")
+	}
+}
+
+// TestBarabasiAlbertDeterministic pins the regression mvlint's maporder
+// rule caught: attachment targets were drawn from a map in Go's randomized
+// iteration order, so a fixed seed produced a different graph every run.
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	t.Parallel()
+
+	adjacency := func() string {
+		g, err := BarabasiAlbert(120, 3, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for u := 0; u < g.N(); u++ {
+			fmt.Fprintf(&b, "%d:%v\n", u, g.Neighbors(u))
+		}
+		return b.String()
+	}
+	first := adjacency()
+	for i := 0; i < 4; i++ {
+		if again := adjacency(); again != first {
+			t.Fatalf("run %d: BarabasiAlbert(120, 3, seed 7) produced a different graph", i+2)
+		}
 	}
 }
 

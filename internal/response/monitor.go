@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/mms"
@@ -129,7 +130,7 @@ func (m *Monitor) OnLegitSent(p mms.PhoneID, now time.Duration) {
 // Flagged reports whether phone p is currently under the forced wait.
 func (m *Monitor) Flagged(p mms.PhoneID) bool { return m.flagged[p] }
 
-// FlaggedPhones returns the phones currently flagged, in unspecified
+// FlaggedPhones returns the phones currently flagged, in ascending ID
 // order. Cross-reference with infection state to measure false positives.
 func (m *Monitor) FlaggedPhones() []mms.PhoneID {
 	out := make([]mms.PhoneID, 0, len(m.flagged))
@@ -138,5 +139,6 @@ func (m *Monitor) FlaggedPhones() []mms.PhoneID {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -12,4 +12,5 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+go run ./cmd/mvlint ./...
 go test -race ./...
