@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt lint
+.PHONY: build test bench bench-baseline bench-check microbench check fmt fmt-check vet lint race
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,41 @@ build:
 test:
 	$(GO) test ./...
 
+# Pinned performance suite (see DESIGN.md §9): emits BENCH_local.json.
 bench:
+	$(GO) run ./cmd/mvbench -label local -out . -count 3
+
+# Regenerate the committed CI baseline after an intentional perf change.
+bench-baseline:
+	$(GO) run ./cmd/mvbench -label baseline -out . -count 5
+
+# The CI regression gate: fresh run vs the committed baseline.
+bench-check:
+	$(GO) run ./cmd/mvbench -label ci -out . -count 5 -compare BENCH_baseline.json
+
+# Ad-hoc go test benchmarks (figures, ablations, kernels).
+microbench:
 	$(GO) test -bench=. -benchmem
 
 fmt:
 	gofmt -w cmd examples internal bench_test.go
 
+# Fails (listing the files) instead of rewriting, for CI.
+fmt-check:
+	@unformatted=$$(gofmt -l cmd examples internal bench_test.go); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
 # Determinism & simulation-hygiene static analysis (see DESIGN.md §8).
 lint:
 	$(GO) run ./cmd/mvlint ./...
+
+race:
+	$(GO) test -race ./...
 
 # The full local gate: formatting, vet, mvlint, race-enabled tests.
 check:

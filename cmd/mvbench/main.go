@@ -1,0 +1,444 @@
+// Command mvbench runs the repository's pinned performance suite and emits
+// a machine-readable BENCH_<label>.json, making simulator speed a checked
+// artifact rather than a claim (DESIGN.md §9).
+//
+// The suite covers the three layers of the hot path: raw DES kernel
+// throughput (schedule/fire batches, self-perpetuating chains,
+// schedule+cancel round trips), SAN timed-activity completion on the phone
+// model, and one full paper figure at reduced replications. Each entry
+// records ns/op, allocs/op, bytes/op, and — where meaningful — events/sec;
+// figure runs also record their headline mean-final-infections as a
+// built-in correctness sanity, which is deterministic for the pinned seeds.
+//
+// Usage:
+//
+//	mvbench [-label L] [-out DIR] [-count N] [-run SUBSTR]
+//	mvbench -compare OLD.json [-threshold F] [-sanity F] ...
+//
+// With -compare, mvbench runs the suite, diffs it against OLD.json, and
+// exits 1 if any benchmark regressed past the thresholds (ns/op by more
+// than -threshold as a fraction, any allocs/op increase, or any headline
+// drift beyond -sanity relative tolerance). Exit code 2 reports a usage or
+// execution error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiment"
+	"repro/internal/rng"
+	"repro/internal/sanphone"
+)
+
+// schemaVersion gates comparisons across incompatible report layouts.
+const schemaVersion = 1
+
+// eventsMetric is the ReportMetric unit a benchmark uses to declare how
+// many simulation events one op executes; every other metric is a headline
+// correctness figure.
+const eventsMetric = "events/op"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name         string             `json:"name"`
+	NsPerOp      float64            `json:"ns_per_op"`
+	AllocsPerOp  int64              `json:"allocs_per_op"`
+	BytesPerOp   int64              `json:"bytes_per_op"`
+	EventsPerOp  float64            `json:"events_per_op,omitempty"`
+	EventsPerSec float64            `json:"events_per_sec,omitempty"`
+	Headline     map[string]float64 `json:"headline,omitempty"`
+}
+
+// Report is the BENCH_<label>.json document.
+type Report struct {
+	Schema     int      `json:"schema"`
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Count      int      `json:"count"`
+	Results    []Result `json:"results"`
+}
+
+// spec is one pinned suite entry.
+type spec struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// suite returns the pinned benchmark suite. Names, seeds, and workload
+// sizes are part of the comparison contract: changing them invalidates
+// committed baselines.
+func suite() []spec {
+	return []spec{
+		{"des/schedule-fire-1k", benchScheduleFire},
+		{"des/self-perpetuating-chain", benchChain},
+		{"des/schedule-cancel", benchScheduleCancel},
+		{"san/phone-activity", benchSANPhone},
+		{"figure1/reduced", benchFigure1},
+	}
+}
+
+// benchScheduleFire measures kernel throughput on batches of 1,000 events
+// against one long-lived simulation, so the steady state exercises the
+// arena free list rather than allocator growth.
+func benchScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	noop := func(*des.Simulation) {}
+	const batch = 1000
+	sim := des.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if _, err := sim.ScheduleAfter(time.Duration(j)*time.Millisecond, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.Run()
+	}
+	b.ReportMetric(batch, eventsMetric)
+}
+
+// benchChain measures the dominant simulator pattern: each event schedules
+// its successor.
+func benchChain(b *testing.B) {
+	b.ReportAllocs()
+	sim := des.New()
+	count := 0
+	var tick des.Handler
+	tick = func(s *des.Simulation) {
+		count++
+		if count < b.N {
+			if _, err := s.ScheduleAfter(time.Millisecond, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	if _, err := sim.ScheduleAfter(0, tick); err != nil {
+		b.Fatal(err)
+	}
+	sim.Run()
+	b.ReportMetric(1, eventsMetric)
+}
+
+// benchScheduleCancel measures schedule+cancel round trips through the
+// generation-counted handle path.
+func benchScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	sim := des.New()
+	noop := func(*des.Simulation) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := sim.ScheduleAfter(time.Hour, noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sim.Cancel(h) {
+			b.Fatal("cancel of pending event failed")
+		}
+	}
+}
+
+// benchSANPhone measures SAN timed-activity completion on the default
+// 40-phone model: one 24-hour replication per op against a model built
+// once. The first replication's final infected count is the headline
+// sanity (pinned seed, deterministic).
+func benchSANPhone(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sanphone.DefaultConfig()
+	root := rng.New(1)
+	model, err := sanphone.Build(cfg, root.Stream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 24 * time.Hour
+	var events uint64
+	finalFirst := -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		final, ev, err := model.Replicate(root.Stream(uint64(i)+2), horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += ev
+		if i == 0 {
+			finalFirst = final
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), eventsMetric)
+	b.ReportMetric(float64(finalFirst), "final-infected-seed1")
+}
+
+// benchFigure1 runs the paper's Figure 1 baselines at reduced replications
+// on a single worker, so the measurement is comparable across machines
+// with different core counts. Its headline mean-final-infections double as
+// an end-to-end correctness sanity.
+func benchFigure1(b *testing.B) {
+	b.ReportAllocs()
+	opts := core.Options{Replications: 2, GridPoints: 50, BaseSeed: 1, Parallelism: 1}
+	var fr *experiment.FigureResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		fr, err = experiment.RunFigure(experiment.Figure1(experiment.FullScale), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fr.Series[0].FinalMean, "final-infected-first-series")
+	b.ReportMetric(fr.Series[len(fr.Series)-1].FinalMean, "final-infected-last-series")
+}
+
+// toResult converts a raw BenchmarkResult, splitting the events metric off
+// from headline correctness metrics.
+func toResult(name string, r testing.BenchmarkResult) Result {
+	out := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	for unit, v := range r.Extra {
+		switch unit {
+		case eventsMetric:
+			out.EventsPerOp = v
+		default:
+			if out.Headline == nil {
+				out.Headline = make(map[string]float64)
+			}
+			out.Headline[unit] = v
+		}
+	}
+	if out.EventsPerOp > 0 && out.NsPerOp > 0 {
+		out.EventsPerSec = out.EventsPerOp * 1e9 / out.NsPerOp
+	}
+	return out
+}
+
+// better merges a repeated measurement into best, keeping the fastest
+// ns/op and the smallest allocation figures (repeats only ever add noise
+// upward: GC pauses, scheduler preemption, cache pollution).
+func better(best, next Result) Result {
+	if next.NsPerOp < best.NsPerOp {
+		best.NsPerOp = next.NsPerOp
+		best.EventsPerSec = next.EventsPerSec
+	}
+	if next.AllocsPerOp < best.AllocsPerOp {
+		best.AllocsPerOp = next.AllocsPerOp
+	}
+	if next.BytesPerOp < best.BytesPerOp {
+		best.BytesPerOp = next.BytesPerOp
+	}
+	return best
+}
+
+// collect runs every suite entry matching filter count times and keeps the
+// best measurement of each.
+func collect(count int, filter string) ([]Result, error) {
+	var out []Result
+	for _, sp := range suite() {
+		if filter != "" && !strings.Contains(sp.name, filter) {
+			continue
+		}
+		var best Result
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(sp.run)
+			if r.N == 0 {
+				return nil, fmt.Errorf("benchmark %s failed to run", sp.name)
+			}
+			res := toResult(sp.name, r)
+			if i == 0 {
+				best = res
+				continue
+			}
+			best = better(best, res)
+		}
+		out = append(out, best)
+		fmt.Printf("%-32s %14.1f ns/op %10d allocs/op %12s\n",
+			best.Name, best.NsPerOp, best.AllocsPerOp, eventsPerSecString(best))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no suite entry matches -run %q", filter)
+	}
+	return out, nil
+}
+
+// eventsPerSecString renders the events/sec column, blank when the entry
+// has no event count.
+func eventsPerSecString(r Result) string {
+	if r.EventsPerSec <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.0f ev/s", r.EventsPerSec)
+}
+
+// compare diffs fresh results against a committed baseline. It returns
+// human-readable regression descriptions; an empty slice means the gate
+// passes. threshold is the allowed fractional ns/op growth; sanity is the
+// allowed relative drift of headline correctness metrics.
+func compare(old, fresh Report, threshold, sanity float64) []string {
+	var problems []string
+	freshByName := make(map[string]Result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		freshByName[r.Name] = r
+	}
+	for _, o := range old.Results {
+		n, ok := freshByName[o.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but not in fresh run", o.Name))
+			continue
+		}
+		if limit := o.NsPerOp * (1 + threshold); n.NsPerOp > limit {
+			problems = append(problems, fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (>%+.0f%%)",
+				o.Name, o.NsPerOp, n.NsPerOp, threshold*100))
+		}
+		// Allocation counts are exact for the zero-alloc kernel entries but
+		// jitter by a handful of runtime-internal allocations on multi-
+		// million-alloc figure runs, so allow 0.1% slack (still zero slack
+		// when the baseline is zero).
+		if n.AllocsPerOp > o.AllocsPerOp+o.AllocsPerOp/1000 {
+			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %d -> %d (allowed slack 0.1%%)",
+				o.Name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+		keys := make([]string, 0, len(o.Headline))
+		for k := range o.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov := o.Headline[k]
+			nv, ok := n.Headline[k]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: headline %q missing from fresh run", o.Name, k))
+				continue
+			}
+			scale := ov
+			if scale < 0 {
+				scale = -scale
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			diff := nv - ov
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > sanity*scale {
+				problems = append(problems, fmt.Sprintf("%s: headline %q drifted %v -> %v (correctness sanity, tol %g)",
+					o.Name, k, ov, nv, sanity))
+			}
+		}
+	}
+	return problems
+}
+
+// loadReport reads and validates a baseline file.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Schema != schemaVersion {
+		return rep, fmt.Errorf("%s has schema %d, this mvbench speaks %d", path, rep.Schema, schemaVersion)
+	}
+	return rep, nil
+}
+
+// writeReport emits BENCH_<label>.json into dir and returns the path.
+func writeReport(rep Report, dir string) (string, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, "BENCH_"+rep.Label+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run executes the driver and returns the process exit code: 0 success,
+// 1 regression gate failure, 2 usage or execution error.
+func run(args []string) int {
+	fs := flag.NewFlagSet("mvbench", flag.ContinueOnError)
+	var (
+		label     = fs.String("label", "local", "label L for the emitted BENCH_L.json")
+		outDir    = fs.String("out", ".", "directory for the emitted report")
+		count     = fs.Int("count", 1, "repetitions per benchmark; best-of-N is kept")
+		filter    = fs.String("run", "", "only run suite entries whose name contains this substring")
+		comparePK = fs.String("compare", "", "baseline BENCH_*.json to gate against")
+		threshold = fs.Float64("threshold", 0.15, "allowed fractional ns/op regression in -compare mode")
+		sanity    = fs.Float64("sanity", 1e-6, "allowed relative drift of headline correctness metrics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *count < 1 || *threshold < 0 || *sanity < 0 {
+		fmt.Fprintln(os.Stderr, "mvbench: -count must be >= 1 and thresholds non-negative")
+		return 2
+	}
+
+	results, err := collect(*count, *filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvbench:", err)
+		return 2
+	}
+	rep := Report{
+		Schema:     schemaVersion,
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
+		Results:    results,
+	}
+	path, err := writeReport(rep, *outDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvbench:", err)
+		return 2
+	}
+	fmt.Println("wrote", path)
+
+	if *comparePK == "" {
+		return 0
+	}
+	base, err := loadReport(*comparePK)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvbench:", err)
+		return 2
+	}
+	problems := compare(base, rep, *threshold, *sanity)
+	if len(problems) == 0 {
+		fmt.Printf("benchmark gate passed against %s (threshold %+.0f%% ns/op, 0 allocs/op)\n",
+			*comparePK, *threshold*100)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "mvbench: %d regression(s) against %s:\n", len(problems), *comparePK)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "  "+p)
+	}
+	return 1
+}

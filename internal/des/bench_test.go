@@ -20,6 +20,23 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleAndFireWarm measures steady-state throughput: the same
+// batch against one long-lived simulation, so the arena free list (not
+// allocator growth) serves every schedule. This is the regime replications
+// run in after their first few events.
+func BenchmarkScheduleAndFireWarm(b *testing.B) {
+	noop := func(*Simulation) {}
+	sim := New()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			if _, err := sim.ScheduleAfter(time.Duration(j)*time.Millisecond, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.Run()
+	}
+}
+
 // BenchmarkScheduleCancel measures schedule+cancel round trips.
 func BenchmarkScheduleCancel(b *testing.B) {
 	sim := New()

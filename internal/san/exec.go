@@ -10,7 +10,22 @@ import (
 	"repro/internal/rng"
 )
 
+// actState is the per-activity runtime state of one Execution. Keeping it
+// here rather than on Activity lets a built Model back any number of
+// sequential Executions, and lets the fire closure be created once per
+// activity instead of once per activation.
+type actState struct {
+	pending des.Handle
+	fire    des.Handler // persistent closure scheduling onTimedFire
+}
+
 // Execution runs one trajectory of a SAN on the discrete-event kernel.
+//
+// All per-event scratch (the priority-sorted instantaneous activity list,
+// the timed activity list, firing counters, activation closures) is
+// preallocated at construction, so the steady state of a run performs no
+// heap allocations per event beyond what the model's own gate and delay
+// functions do.
 type Execution struct {
 	model   *Model
 	marking *Marking
@@ -19,7 +34,10 @@ type Execution struct {
 	// trace, if non-nil, receives every activity firing.
 	trace func(at time.Duration, a *Activity)
 
-	firings map[*Activity]uint64
+	inst    []*Activity // instantaneous activities, stable priority order
+	timed   []*Activity // timed activities, creation order
+	acts    []actState  // indexed by Activity.idx
+	firings []uint64    // indexed by Activity.idx
 }
 
 // NewExecution prepares a run of model with the given random source.
@@ -49,8 +67,19 @@ func NewExecution(model *Model, src *rng.Source) (*Execution, error) {
 		},
 		sim:     des.New(),
 		src:     src,
-		firings: make(map[*Activity]uint64, len(model.activities)),
+		acts:    make([]actState, len(model.activities)),
+		firings: make([]uint64, len(model.activities)),
 	}
+	for _, a := range model.activities {
+		if a.delay == nil {
+			e.inst = append(e.inst, a)
+			continue
+		}
+		e.timed = append(e.timed, a)
+		a := a
+		e.acts[a.idx].fire = func(*des.Simulation) { e.onTimedFire(a) }
+	}
+	sort.SliceStable(e.inst, func(i, j int) bool { return e.inst[i].priority < e.inst[j].priority })
 	return e, nil
 }
 
@@ -60,8 +89,18 @@ func (e *Execution) Marking() *Marking { return e.marking }
 // Now returns the current simulation time.
 func (e *Execution) Now() time.Duration { return e.sim.Now() }
 
+// Events returns the number of kernel events executed so far — activity
+// completions plus housekeeping such as horizon sentinels. Benchmarks use
+// it to report events/sec.
+func (e *Execution) Events() uint64 { return e.sim.Fired() }
+
 // Firings returns how many times activity a fired.
-func (e *Execution) Firings(a *Activity) uint64 { return e.firings[a] }
+func (e *Execution) Firings(a *Activity) uint64 {
+	if a == nil || a.idx >= len(e.firings) {
+		return 0
+	}
+	return e.firings[a.idx]
+}
 
 // SetTrace installs a callback invoked after each activity firing.
 func (e *Execution) SetTrace(fn func(at time.Duration, a *Activity)) { e.trace = fn }
@@ -101,7 +140,7 @@ func (e *Execution) fire(a *Activity) {
 			g.Fire(e.marking)
 		}
 	}
-	e.firings[a]++
+	e.firings[a.idx]++
 	for _, rv := range e.model.rewards {
 		if v, ok := rv.impulse[a]; ok {
 			rv.impulses += v
@@ -140,20 +179,13 @@ func (e *Execution) chooseCase(a *Activity) Case {
 // remain enabled. A bounded iteration count guards against vanishing loops
 // in ill-formed models.
 func (e *Execution) settle() error {
-	inst := make([]*Activity, 0, len(e.model.activities))
-	for _, a := range e.model.activities {
-		if a.delay == nil {
-			inst = append(inst, a)
-		}
-	}
-	sort.SliceStable(inst, func(i, j int) bool { return inst[i].priority < inst[j].priority })
 	const maxIterations = 1 << 16
 	for iter := 0; ; iter++ {
 		if iter >= maxIterations {
 			return fmt.Errorf("san: model %q: instantaneous activities did not settle (vanishing loop?)", e.model.name)
 		}
 		fired := false
-		for _, a := range inst {
+		for _, a := range e.inst {
 			if e.enabled(a) {
 				e.fire(a)
 				fired = true
@@ -168,45 +200,35 @@ func (e *Execution) settle() error {
 
 // refreshTimed aborts activations of disabled timed activities and samples
 // activations for newly enabled ones (Möbius race semantics with restart on
-// re-enable).
+// re-enable). Cancellation goes through the kernel, whose generation-
+// counted handles guarantee an aborted activation can never fire, so no
+// per-activation epoch bookkeeping is needed.
 func (e *Execution) refreshTimed() error {
-	for _, a := range e.model.activities {
-		if a.delay == nil {
-			continue
-		}
+	for _, a := range e.timed {
+		st := &e.acts[a.idx]
 		en := e.enabled(a)
-		if !en && a.pending.Valid() {
-			e.sim.Cancel(a.pending)
-			a.pending = des.Handle{}
-			a.activeSeq++
+		if !en && st.pending.Valid() {
+			e.sim.Cancel(st.pending)
+			st.pending = des.Handle{}
 			continue
 		}
-		if en && !a.pending.Valid() {
-			a.activeSeq++
-			seq := a.activeSeq
+		if en && !st.pending.Valid() {
 			delay := a.delay(e.marking, e.src)
 			if delay < 0 {
 				delay = 0
 			}
-			act := a
-			h, err := e.sim.ScheduleAfter(delay, func(*des.Simulation) {
-				e.onTimedFire(act, seq)
-			})
+			h, err := e.sim.ScheduleAfter(delay, st.fire)
 			if err != nil {
 				return fmt.Errorf("san: schedule activity %q: %w", a.name, err)
 			}
-			a.pending = h
+			st.pending = h
 		}
 	}
 	return nil
 }
 
-func (e *Execution) onTimedFire(a *Activity, seq uint64) {
-	if seq != a.activeSeq {
-		return // stale activation
-	}
-	a.pending = des.Handle{}
-	a.activeSeq++
+func (e *Execution) onTimedFire(a *Activity) {
+	e.acts[a.idx].pending = des.Handle{}
 	if !e.enabled(a) {
 		// Disabled at fire time (should have been cancelled, but gates can
 		// depend on time-varying state); just resample lazily.

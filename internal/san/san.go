@@ -31,7 +31,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/des"
 	"repro/internal/rng"
 )
 
@@ -86,9 +85,13 @@ func (m *Marking) Total() int {
 	return sum
 }
 
-// clone copies the marking for snapshots.
-func (m *Marking) clone() []int {
-	return append([]int(nil), m.counts...)
+// SnapshotInto copies the marking's counts into buf, reusing its capacity
+// when possible, and returns the (possibly grown) slice. Observers that
+// snapshot every event should pass the previous return value back in so the
+// steady state allocates nothing.
+func (m *Marking) SnapshotInto(buf []int) []int {
+	buf = buf[:0]
+	return append(buf, m.counts...)
 }
 
 // Predicate decides whether an activity is enabled in a marking.
@@ -154,17 +157,17 @@ func ExpDelay(rate func(m *Marking) float64) DelayFunc {
 
 // Activity is a SAN activity. Timed activities have a Delay; instantaneous
 // activities have Delay == nil and fire immediately by Priority order.
+// Activities are pure structure: all runtime state (pending activations,
+// firing counts) lives in the Execution, so one built Model can back any
+// number of sequential Executions.
 type Activity struct {
 	name     string
+	idx      int       // position in Model.activities; indexes Execution state
 	delay    DelayFunc // nil => instantaneous
 	priority int       // instantaneous ordering; lower fires first
 	inputs   []*Place  // input arcs: require >= 1 token, consume 1
 	gates    []*InputGate
 	cases    []Case
-
-	// runtime state
-	pending   des.Handle
-	activeSeq uint64 // activation epoch, used to abort stale firings
 }
 
 // Name returns the activity's name.
@@ -244,7 +247,7 @@ func (m *Model) AddActivity(name string, opts ...ActivityOption) (*Activity, err
 	if m.built {
 		return nil, errors.New("san: model already built")
 	}
-	a := &Activity{name: name}
+	a := &Activity{name: name, idx: len(m.activities)}
 	for _, opt := range opts {
 		opt(a)
 	}

@@ -227,6 +227,23 @@ func Build(cfg Config, src *rng.Source) (*Model, error) {
 	return model, nil
 }
 
+// Replicate executes one trajectory of the built model and returns the
+// final infected count plus the number of kernel events executed. Because
+// activities carry no runtime state, the same built Model can be replicated
+// any number of times sequentially — replications share the vulnerability
+// mask and seed phone chosen at Build time and differ only through src, so
+// benchmark loops skip the O(population²) case construction entirely.
+func (m *Model) Replicate(src *rng.Source, horizon time.Duration) (int, uint64, error) {
+	exec, err := san.NewExecution(m.SAN, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := exec.Run(horizon); err != nil {
+		return 0, 0, err
+	}
+	return exec.Marking().Get(m.InfectedPool), exec.Events(), nil
+}
+
 // findPlace locates a model place by name.
 func findPlace(m *san.Model, name string) (*san.Place, error) {
 	for _, p := range m.Places() {
@@ -245,12 +262,6 @@ func Run(cfg Config, seed uint64, horizon time.Duration) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	exec, err := san.NewExecution(model.SAN, root.Stream(2))
-	if err != nil {
-		return 0, err
-	}
-	if err := exec.Run(horizon); err != nil {
-		return 0, err
-	}
-	return exec.Marking().Get(model.InfectedPool), nil
+	final, _, err := model.Replicate(root.Stream(2), horizon)
+	return final, err
 }

@@ -150,3 +150,72 @@ func TestRunDeterministic(t *testing.T) {
 		t.Errorf("same seed diverged: %d vs %d", a, b)
 	}
 }
+
+// TestReplicateReusesBuiltModel pins the property the stateless-activity
+// refactor bought this package: one Build (the O(population²) case
+// structure) can back many sequential replications, identical sources give
+// identical trajectories, and the model left behind by one replication
+// does not leak state into the next.
+func TestReplicateReusesBuiltModel(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	root := rng.New(11)
+	model, err := Build(cfg, root.Stream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 12 * time.Hour
+	finalA, eventsA, err := model.Replicate(rng.New(99), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replication with a different source in between must not perturb
+	// the repeat of the first.
+	if _, _, err := model.Replicate(rng.New(7), horizon); err != nil {
+		t.Fatal(err)
+	}
+	finalB, eventsB, err := model.Replicate(rng.New(99), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalA != finalB || eventsA != eventsB {
+		t.Errorf("same source on a reused model: final %d/%d events %d/%d, want identical",
+			finalA, finalB, eventsA, eventsB)
+	}
+	if eventsA == 0 {
+		t.Error("replication executed no events; probe is vacuous")
+	}
+	if finalA < 1 {
+		t.Errorf("final infected %d, want at least the seed phone", finalA)
+	}
+}
+
+// TestReplicateMatchesRun pins Run's RNG stream layout: Run is Build with
+// stream 1 plus Replicate with stream 2, so the convenience wrapper and
+// the reuse path can never drift apart.
+func TestReplicateMatchesRun(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultConfig()
+	const (
+		seed    = 21
+		horizon = 12 * time.Hour
+	)
+	viaRun, err := Run(cfg, seed, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(seed)
+	model, err := Build(cfg, root.Stream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaReplicate, _, err := model.Replicate(root.Stream(2), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRun != viaReplicate {
+		t.Errorf("Run = %d infected, Build+Replicate = %d, want identical", viaRun, viaReplicate)
+	}
+}

@@ -1,16 +1,12 @@
 #!/bin/sh
-# Local quality gate: formatting, vet, and the full test suite under the
-# race detector. Run from the repository root (or let the cd handle it).
+# Local quality gate: formatting, vet, mvlint, and the full test suite
+# under the race detector. Each step is a Make target so CI can run them
+# as separate, individually visible steps without drifting from this
+# script. Run from the repository root (or let the cd handle it).
 set -eu
 cd "$(dirname "$0")/.."
 
-unformatted=$(gofmt -l cmd examples internal bench_test.go)
-if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
-
-go vet ./...
-go run ./cmd/mvlint ./...
-go test -race ./...
+make fmt-check
+make vet
+make lint
+make race
