@@ -88,6 +88,7 @@ func suite() []spec {
 		{"des/schedule-cancel", benchScheduleCancel},
 		{"san/phone-activity", benchSANPhone},
 		{"figure1/reduced", benchFigure1},
+		{"figures/sweep-reduced", benchFiguresSweep},
 	}
 }
 
@@ -200,6 +201,35 @@ func benchFigure1(b *testing.B) {
 	}
 	b.ReportMetric(fr.Series[0].FinalMean, "final-infected-first-series")
 	b.ReportMetric(fr.Series[len(fr.Series)-1].FinalMean, "final-infected-last-series")
+}
+
+// benchFiguresSweep runs the whole study matrix at reduced scale through
+// the sweep scheduler — one shared worker pool, fresh replication cache per
+// op. Wall clock measures cross-study scheduling; the cache-hit headlines
+// pin the dedup contract (hits/misses count unique vs duplicate
+// (config, seed) units, so they are deterministic for any worker count),
+// and the final-infection headlines pin end-to-end correctness.
+func benchFiguresSweep(b *testing.B) {
+	b.ReportAllocs()
+	figs := experiment.AllStudies(experiment.Scale{Factor: 10})
+	opts := core.Options{Replications: 2, GridPoints: 50, BaseSeed: 1}
+	var sr *experiment.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sr, err = experiment.RunSweep(nil, figs, opts,
+			experiment.SweepOptions{Cache: experiment.NewReplicationCache()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := sr.Cache
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+	b.ReportMetric(100*st.HitRate(), "cache-hit-rate-pct")
+	first := sr.Figures[0].Series
+	last := sr.Figures[len(sr.Figures)-1].Series
+	b.ReportMetric(first[0].FinalMean, "final-infected-first-study")
+	b.ReportMetric(last[len(last)-1].FinalMean, "final-infected-last-study")
 }
 
 // toResult converts a raw BenchmarkResult, splitting the events metric off

@@ -171,6 +171,7 @@ func TestSuitePinned(t *testing.T) {
 		"des/schedule-cancel",
 		"san/phone-activity",
 		"figure1/reduced",
+		"figures/sweep-reduced",
 	}
 	got := suite()
 	if len(got) != len(want) {

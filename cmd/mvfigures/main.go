@@ -4,17 +4,27 @@
 // curves, renders the figure as a terminal chart, and evaluates the paper's
 // in-text quantitative claims.
 //
+// All selected studies run through one sweep: every (study, series,
+// replication) unit is scheduled onto a single worker pool (-jobs wide),
+// and a content-addressed cache deduplicates scenarios shared across
+// studies, so e.g. the unprotected Baseline is simulated once per seed no
+// matter how many figures reference it. Output bytes are identical for any
+// -jobs value, cache on or off.
+//
 // Usage:
 //
 //	mvfigures [-figure all|figure1|...|scaling|combined] [-reps N]
-//	          [-seed S] [-scale F] [-grid N] [-out DIR] [-quiet]
+//	          [-seed S] [-scale F] [-grid N] [-jobs N] [-nocache]
+//	          [-out DIR] [-quiet]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -34,11 +44,16 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		scale    = flag.Int("scale", 1, "population divisor (1 = paper's 1000 phones)")
 		grid     = flag.Int("grid", 200, "time-grid points per curve")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width shared by all studies")
+		nocache  = flag.Bool("nocache", false, "disable the replication result cache")
 		outDir   = flag.String("out", "results", "output directory for CSV files")
 		quiet    = flag.Bool("quiet", false, "suppress terminal charts")
 	)
 	flag.Parse()
 
+	if *jobs < 1 {
+		return fmt.Errorf("-jobs must be >= 1, got %d", *jobs)
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
 	}
@@ -59,12 +74,21 @@ func run() error {
 		}
 	}
 
-	for _, fig := range figures {
-		fr, err := experiment.RunFigure(fig, opts)
-		if err != nil {
-			return err
+	so := experiment.SweepOptions{Jobs: *jobs}
+	if !*nocache {
+		so.Cache = experiment.NewReplicationCache()
+	}
+	sr, sweepErr := experiment.RunSweep(context.Background(), figures, opts, so)
+	if sr == nil {
+		return sweepErr
+	}
+
+	for fi, fr := range sr.Figures {
+		if err := sr.FigureErrs[fi]; err != nil {
+			fmt.Fprintf(os.Stderr, "mvfigures: %s failed: %v\n", figures[fi].ID, err)
+			continue
 		}
-		path := filepath.Join(*outDir, fig.ID+".csv")
+		path := filepath.Join(*outDir, fr.Figure.ID+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("create %s: %w", path, err)
@@ -90,7 +114,12 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
-	return nil
+	if so.Cache != nil {
+		st := sr.Cache
+		fmt.Printf("sweep: %d jobs, %s elapsed, cache %d hits / %d misses (%.1f%% hit rate, %d uncacheable)\n",
+			*jobs, sr.Elapsed.Round(1e6), st.Hits, st.Misses, 100*st.HitRate(), st.Uncacheable)
+	}
+	return sweepErr
 }
 
 // claimsFor evaluates the paper's claims applicable to the figure; studies

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -70,11 +71,15 @@ func run() error {
 		drain      = flag.Duration("drain", 0, "mean exponential spread of the post-outage queue drain (0 = drain at once)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock run budget; salvage whatever finished (0 = none)")
 		minReps    = flag.Int("min-reps", 0, "salvage quorum: accept the run if at least this many replications survive (0 = all must)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "replications run concurrently")
 	)
 	flag.Parse()
 
 	if *virusNum < 1 || *virusNum > 4 {
 		return fmt.Errorf("virus %d outside 1-4", *virusNum)
+	}
+	if *jobs < 1 {
+		return fmt.Errorf("-jobs must be >= 1, got %d", *jobs)
 	}
 	if *reps < 1 {
 		return fmt.Errorf("reps %d must be at least 1", *reps)
@@ -163,6 +168,7 @@ func run() error {
 		BaseSeed:        *seed,
 		GridPoints:      *grid,
 		MinReplications: *minReps,
+		Parallelism:     *jobs,
 	})
 	if err != nil {
 		return err

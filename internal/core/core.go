@@ -198,7 +198,7 @@ func RunOnceContext(ctx context.Context, cfg Config, seed uint64) (*Result, erro
 			return nil, fmt.Errorf("core: response factory %d is nil", i)
 		}
 		r := f()
-		if err := r.Attach(net, respSrcBase.Stream(uint64(i))); err != nil {
+		if err := net.AttachResponse(r, respSrcBase.Stream(uint64(i))); err != nil {
 			return nil, fmt.Errorf("core: attach %s: %w", r.Name(), err)
 		}
 	}
@@ -345,7 +345,11 @@ type Options struct {
 	MinReplications int
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with every unset field replaced by its
+// documented default. Run and RunContext apply it internally; external
+// schedulers (internal/experiment's sweep pool) apply it before deriving
+// per-replication seeds so both paths agree on replication counts.
+func (o Options) WithDefaults() Options {
 	if o.Replications <= 0 {
 		o.Replications = 10
 	}
@@ -392,8 +396,10 @@ func (e *ReplicationError) Unwrap() error { return e.Err }
 // share splitmix trajectories (verified by TestReplicationSeedStride).
 const seedStride = 0x9e3779b97f4a7c15
 
-// replicationSeed derives the seed of replication i from the base seed.
-func replicationSeed(base uint64, i int) uint64 {
+// ReplicationSeed derives the seed of replication i from the base seed.
+// It is the single seed-derivation rule: RunContext and any external
+// scheduler must agree on it for their results to be interchangeable.
+func ReplicationSeed(base uint64, i int) uint64 {
 	return base + uint64(i)*seedStride
 }
 
@@ -419,7 +425,7 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*RunSet, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if opts.MinReplications > opts.Replications {
 		return nil, fmt.Errorf("core: salvage quorum %d exceeds %d replications",
 			opts.MinReplications, opts.Replications)
@@ -431,17 +437,36 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*RunSet, error) 
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Replications; i++ {
 		i := i
-		seed := replicationSeed(opts.BaseSeed, i)
+		seed := ReplicationSeed(opts.BaseSeed, i)
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = runReplication(ctx, cfg, i, seed)
+			results[i], errs[i] = RunReplication(ctx, cfg, i, seed)
 		}()
 	}
 	wg.Wait()
 
+	return AssembleRunSet(cfg, opts, results, errs)
+}
+
+// AssembleRunSet aggregates per-replication outcomes into a RunSet with
+// RunContext's exact salvage semantics. results and errs are parallel
+// slices indexed by replication (exactly one of results[i] and errs[i] is
+// non-nil); entry i must have been produced with seed
+// ReplicationSeed(opts.BaseSeed, i). It exists so external schedulers that
+// interleave replications of many scenarios on one worker pool can
+// reassemble each scenario's RunSet byte-identically to a plain RunContext
+// call: survivors aggregate in seed order, all failures are collected with
+// errors.Join alongside the partial RunSet, and a met MinReplications
+// quorum converts failures into RunSet.Failed instead of an error.
+func AssembleRunSet(cfg Config, opts Options, results []*Result, errs []*ReplicationError) (*RunSet, error) {
+	opts = opts.WithDefaults()
+	if opts.MinReplications > len(results) {
+		return nil, fmt.Errorf("core: salvage quorum %d exceeds %d replications",
+			opts.MinReplications, len(results))
+	}
 	rs := &RunSet{Config: cfg}
 	var failed []*ReplicationError
 	for i, r := range results {
@@ -450,7 +475,7 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*RunSet, error) 
 			continue
 		}
 		rs.Results = append(rs.Results, r)
-		rs.Seeds = append(rs.Seeds, replicationSeed(opts.BaseSeed, i))
+		rs.Seeds = append(rs.Seeds, ReplicationSeed(opts.BaseSeed, i))
 	}
 	if len(rs.Results) > 0 {
 		curves := make([]*curve.Curve, len(rs.Results))
@@ -479,8 +504,12 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*RunSet, error) 
 	return rs, errors.Join(joined...)
 }
 
-// runReplication executes one crash-isolated replication.
-func runReplication(ctx context.Context, cfg Config, i int, seed uint64) (res *Result, repErr *ReplicationError) {
+// RunReplication executes one crash-isolated replication: a panic inside
+// the simulation is recovered into a *ReplicationError carrying the seed
+// and stack. The replication index i is reporting metadata only — the
+// outcome is fully determined by (cfg, seed), which is what makes results
+// content-addressable for caching.
+func RunReplication(ctx context.Context, cfg Config, i int, seed uint64) (res *Result, repErr *ReplicationError) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil

@@ -284,7 +284,7 @@ func TestGatewayDetectionReported(t *testing.T) {
 func TestOptionsDefaults(t *testing.T) {
 	t.Parallel()
 
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.Replications != 10 || o.BaseSeed != 1 || o.GridPoints != 200 || o.Parallelism < 1 {
 		t.Errorf("defaults = %+v", o)
 	}
@@ -513,7 +513,7 @@ func TestReplicationSeedStride(t *testing.T) {
 	const draws = 10000
 	seen := make(map[uint64]int, reps*draws)
 	for i := 0; i < reps; i++ {
-		src := rng.New(replicationSeed(1, i))
+		src := rng.New(ReplicationSeed(1, i))
 		for d := 0; d < draws; d++ {
 			v := src.Uint64()
 			if prev, dup := seen[v]; dup {

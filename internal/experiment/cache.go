@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ReplicationCache memoizes replication results by content address: the
+// key is (config fingerprint, replication seed), the value a *core.Result.
+// Because core.RunReplication's outcome is fully determined by that pair,
+// a Baseline scenario shared by several studies is simulated once per seed
+// and every study reads the same result object — which is also why the
+// cache cannot perturb output bytes. Cached results are shared read-only;
+// nothing in the aggregation or reporting paths mutates a Result.
+//
+// The cache is safe for concurrent use. Concurrent requests for the same
+// key are collapsed: one caller simulates while the rest wait and count a
+// hit. Failed replications are never cached — the failure is returned to
+// the caller that ran it, and the key is released so a later request
+// retries.
+type ReplicationCache struct {
+	entries sync.Map // replicationKey -> *cacheEntry
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	uncacheable atomic.Uint64
+}
+
+// NewReplicationCache returns an empty cache.
+func NewReplicationCache() *ReplicationCache { return &ReplicationCache{} }
+
+// replicationKey addresses one replication: the config's content hash plus
+// the seed that drives every random stream of the run.
+type replicationKey struct {
+	sum  [sha256.Size]byte
+	seed uint64
+}
+
+// cacheEntry is the rendezvous for one key. ready is closed when the
+// computing caller finishes; res stays nil if that run failed (waiters
+// then recompute for themselves).
+type cacheEntry struct {
+	ready chan struct{}
+	res   *core.Result
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	// Hits counts replications served from (or collapsed onto) a cached
+	// result instead of being simulated.
+	Hits uint64
+	// Misses counts replications that were simulated and cached.
+	Misses uint64
+	// Uncacheable counts replications that bypassed the cache because
+	// their config carried opaque elements (funcs, undescribed factories).
+	Uncacheable uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when the cache saw no
+// cacheable work.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters. A nil cache reports zeros.
+func (c *ReplicationCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Uncacheable: c.uncacheable.Load(),
+	}
+}
+
+// run executes one replication through the cache. A nil cache or an
+// uncacheable fingerprint degrades to a plain core.RunReplication call.
+// The replication index rep is reporting metadata only (it lands in
+// ReplicationError) and is deliberately not part of the key.
+func (c *ReplicationCache) run(ctx context.Context, cfg core.Config, fp Fingerprint, rep int, seed uint64) (*core.Result, *core.ReplicationError) {
+	if c == nil {
+		return core.RunReplication(ctx, cfg, rep, seed)
+	}
+	if !fp.Cacheable() {
+		c.uncacheable.Add(1)
+		return core.RunReplication(ctx, cfg, rep, seed)
+	}
+	key := replicationKey{sum: fp.sum, seed: seed}
+	for {
+		fresh := &cacheEntry{ready: make(chan struct{})}
+		got, loaded := c.entries.LoadOrStore(key, fresh)
+		if loaded {
+			entry := got.(*cacheEntry)
+			<-entry.ready
+			if entry.res != nil {
+				c.hits.Add(1)
+				return entry.res, nil
+			}
+			// The computing caller failed and released the key; take
+			// ownership on the next iteration and run it ourselves.
+			continue
+		}
+		res, repErr := core.RunReplication(ctx, cfg, rep, seed)
+		if repErr != nil {
+			// Release before waking waiters so their retry re-owns the key
+			// instead of re-reading this dead entry.
+			c.entries.Delete(key)
+			close(fresh.ready)
+			return nil, repErr
+		}
+		fresh.res = res
+		c.misses.Add(1)
+		close(fresh.ready)
+		return res, nil
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -53,13 +54,43 @@ type CombinationResult struct {
 
 // RunCombinationMatrix evaluates the baseline, every single variant, and
 // every unordered pair against the virus, returning results sorted by
-// final infections (best first) with the baseline last.
+// final infections (best first) with the baseline last. The whole matrix
+// — baseline, singles, and pairs — is flattened onto one worker pool
+// (opts.Parallelism wide) with a replication cache, so scenarios the
+// matrix shares with itself are simulated once and nothing waits on a
+// per-scenario barrier.
 func RunCombinationMatrix(s Scale, v virus.Config, variants []MechanismVariant, opts core.Options) ([]CombinationResult, float64, error) {
 	if len(variants) < 2 {
 		return nil, 0, fmt.Errorf("experiment: combination matrix needs >= 2 variants")
 	}
-	baseCfg := s.paperConfig(v)
-	baseRun, err := core.Run(baseCfg, opts)
+	opts = opts.WithDefaults()
+	p := newPool(opts.Parallelism)
+	defer p.close()
+	cache := NewReplicationCache()
+	submit := func(factories ...mms.ResponseFactory) *seriesJob {
+		cfg := s.paperConfig(v)
+		cfg.Responses = factories
+		return p.submitSeries(context.Background(), cache, cfg, opts)
+	}
+
+	baseJob := submit()
+	singleJobs := make([]*seriesJob, len(variants))
+	for i, m := range variants {
+		singleJobs[i] = submit(m.Factory)
+	}
+	type pair struct {
+		a, b int
+		job  *seriesJob
+	}
+	var pairJobs []pair
+	for i := 0; i < len(variants); i++ {
+		for j := i + 1; j < len(variants); j++ {
+			pairJobs = append(pairJobs, pair{a: i, b: j,
+				job: submit(variants[i].Factory, variants[j].Factory)})
+		}
+	}
+
+	baseRun, err := baseJob.wait()
 	if err != nil {
 		return nil, 0, fmt.Errorf("experiment: combination baseline: %w", err)
 	}
@@ -67,46 +98,33 @@ func RunCombinationMatrix(s Scale, v virus.Config, variants []MechanismVariant, 
 
 	singles := make(map[string]float64, len(variants))
 	results := make([]CombinationResult, 0, len(variants)*(len(variants)+1)/2)
-	run := func(names []string, factories []mms.ResponseFactory) (float64, error) {
-		cfg := s.paperConfig(v)
-		cfg.Responses = factories
-		rs, err := core.Run(cfg, opts)
+	for i, m := range variants {
+		rs, err := singleJobs[i].wait()
 		if err != nil {
-			return 0, fmt.Errorf("experiment: combination %v: %w", names, err)
+			return nil, 0, fmt.Errorf("experiment: combination %v: %w", []string{m.Name}, err)
 		}
-		return rs.FinalMean(), nil
-	}
-	for _, m := range variants {
-		final, err := run([]string{m.Name}, []mms.ResponseFactory{m.Factory})
-		if err != nil {
-			return nil, 0, err
-		}
-		singles[m.Name] = final
+		singles[m.Name] = rs.FinalMean()
 		results = append(results, CombinationResult{
 			Names:         []string{m.Name},
-			FinalInfected: final,
+			FinalInfected: rs.FinalMean(),
 		})
 	}
-	for i := 0; i < len(variants); i++ {
-		for j := i + 1; j < len(variants); j++ {
-			a, b := variants[i], variants[j]
-			final, err := run(
-				[]string{a.Name, b.Name},
-				[]mms.ResponseFactory{a.Factory, b.Factory},
-			)
-			if err != nil {
-				return nil, 0, err
-			}
-			best := singles[a.Name]
-			if singles[b.Name] < best {
-				best = singles[b.Name]
-			}
-			results = append(results, CombinationResult{
-				Names:         []string{a.Name, b.Name},
-				FinalInfected: final,
-				Synergy:       best - final,
-			})
+	for _, pj := range pairJobs {
+		a, b := variants[pj.a], variants[pj.b]
+		rs, err := pj.job.wait()
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiment: combination %v: %w", []string{a.Name, b.Name}, err)
 		}
+		final := rs.FinalMean()
+		best := singles[a.Name]
+		if singles[b.Name] < best {
+			best = singles[b.Name]
+		}
+		results = append(results, CombinationResult{
+			Names:         []string{a.Name, b.Name},
+			FinalInfected: final,
+			Synergy:       best - final,
+		})
 	}
 	sort.SliceStable(results, func(x, y int) bool {
 		return results[x].FinalInfected < results[y].FinalInfected

@@ -3,7 +3,6 @@ package experiment
 import (
 	"context"
 	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/clock"
@@ -54,29 +53,22 @@ func RunFigure(fig Figure, opts core.Options) (*FigureResult, error) {
 }
 
 // RunFigureContext is RunFigure under a context: a cancellation or timeout
-// aborts in-flight replications. Series inherit core.RunContext's salvage
-// semantics, so a series whose surviving replications meet
-// opts.MinReplications still contributes its aggregated band.
+// aborts in-flight replications. Every series runs on one shared worker
+// pool (opts.Parallelism wide) via the sweep scheduler, and series inherit
+// core.RunContext's salvage semantics, so a series whose surviving
+// replications meet opts.MinReplications still contributes its aggregated
+// band. A failed series no longer discards the completed ones: per-series
+// failures are collected with errors.Join and the partial FigureResult is
+// returned alongside the error, mirroring core.RunSet salvage.
 func RunFigureContext(ctx context.Context, fig Figure, opts core.Options) (*FigureResult, error) {
-	if len(fig.Series) == 0 {
-		return nil, fmt.Errorf("experiment: figure %s has no series", fig.ID)
-	}
-	start := timeNow()
-	out := &FigureResult{Figure: fig, Series: make([]SeriesResult, 0, len(fig.Series))}
-	for _, s := range fig.Series {
-		rs, err := core.RunContext(ctx, s.Config, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s / %s: %w", fig.ID, s.Label, err)
+	sr, err := RunSweep(ctx, []Figure{fig}, opts, SweepOptions{Jobs: opts.Parallelism})
+	if err != nil {
+		if sr != nil {
+			return sr.Figures[0], err
 		}
-		out.Series = append(out.Series, SeriesResult{
-			Label:     s.Label,
-			Band:      rs.Band,
-			FinalMean: rs.FinalMean(),
-			RunSet:    rs,
-		})
+		return nil, err
 	}
-	out.Elapsed = timeNow().Sub(start)
-	return out, nil
+	return sr.Figures[0], nil
 }
 
 // ErrSeriesMissing is returned by claim evaluations when a needed series is

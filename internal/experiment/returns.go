@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -76,6 +77,9 @@ func (r *ReturnsResult) Knee() (ReturnsPoint, bool) {
 // EvaluateReturns runs the sweep and locates the point of diminishing
 // returns: the first strength increment whose marginal prevention is below
 // kneeFraction of the baseline infections. kneeFraction must lie in (0,1).
+// Baseline and all levels are flattened onto one worker pool
+// (opts.Parallelism wide) with a replication cache; the knee math reads
+// results in level order, so the outcome is independent of scheduling.
 func EvaluateReturns(sweep Sweep, kneeFraction float64, opts core.Options) (*ReturnsResult, error) {
 	if len(sweep.Points) < 2 {
 		return nil, errors.New("experiment: returns sweep needs at least 2 levels")
@@ -83,7 +87,17 @@ func EvaluateReturns(sweep Sweep, kneeFraction float64, opts core.Options) (*Ret
 	if kneeFraction <= 0 || kneeFraction >= 1 {
 		return nil, fmt.Errorf("experiment: knee fraction %v outside (0,1)", kneeFraction)
 	}
-	baseRun, err := core.Run(sweep.Baseline, opts)
+	opts = opts.WithDefaults()
+	p := newPool(opts.Parallelism)
+	defer p.close()
+	cache := NewReplicationCache()
+	baseJob := p.submitSeries(context.Background(), cache, sweep.Baseline, opts)
+	pointJobs := make([]*seriesJob, len(sweep.Points))
+	for i, pt := range sweep.Points {
+		pointJobs[i] = p.submitSeries(context.Background(), cache, pt.Config, opts)
+	}
+
+	baseRun, err := baseJob.wait()
 	if err != nil {
 		return nil, fmt.Errorf("experiment: returns baseline: %w", err)
 	}
@@ -96,7 +110,7 @@ func EvaluateReturns(sweep Sweep, kneeFraction float64, opts core.Options) (*Ret
 	}
 	prevPrevented := 0.0
 	for i, p := range sweep.Points {
-		rs, err := core.Run(p.Config, opts)
+		rs, err := pointJobs[i].wait()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: returns level %q: %w", p.Label, err)
 		}

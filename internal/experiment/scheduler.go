@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the sweep scheduler: it flattens every (study, series,
+// replication) unit of the full study matrix into one bounded worker pool,
+// so a slow series no longer serializes behind a fast one and the machine
+// stays saturated from the first replication to the last. Two properties
+// are load-bearing:
+//
+//   - Determinism. Workers race only over which unit runs when; each unit
+//     is a pure function of (config, seed), results land in
+//     replication-indexed slots, and every RunSet is assembled by
+//     core.AssembleRunSet in seed order. Output bytes are therefore
+//     identical for any worker count, with or without the cache.
+//   - Crash isolation. Units run through core.RunReplication, so a panic
+//     becomes a *core.ReplicationError in its slot and series keep
+//     core.RunContext's salvage-quorum semantics exactly.
+
+// SweepOptions tunes the cross-study scheduler.
+type SweepOptions struct {
+	// Jobs is the worker-pool width shared by every study in the sweep;
+	// <= 0 means runtime.GOMAXPROCS(0). There is no per-series limit and
+	// no nested semaphore: Jobs is the single concurrency bound.
+	Jobs int
+	// Cache, when non-nil, memoizes replication results by config
+	// fingerprint and seed, so scenarios shared across studies (every
+	// figure's Baseline) are simulated once per seed.
+	Cache *ReplicationCache
+}
+
+// SweepResult is the outcome of a scheduled multi-study run.
+type SweepResult struct {
+	// Figures holds one result per requested figure, in request order. A
+	// figure whose series partly failed is still present with its
+	// surviving series (see FigureErrs).
+	Figures []*FigureResult
+	// FigureErrs is parallel to Figures: nil for a clean figure, the
+	// errors.Join of its per-series failures otherwise.
+	FigureErrs []error
+	// Cache snapshots the cache counters after the sweep (zeros when the
+	// sweep ran uncached).
+	Cache CacheStats
+	// Elapsed is the wall-clock cost of the whole sweep.
+	Elapsed time.Duration
+}
+
+// RunSweep executes every series of every figure on one shared worker pool
+// and assembles results deterministically. The returned error is the
+// errors.Join of all per-figure errors; the *SweepResult is always
+// returned alongside it with every surviving series, mirroring
+// core.RunSet's salvage contract.
+func RunSweep(ctx context.Context, figs []Figure, opts core.Options, so SweepOptions) (*SweepResult, error) {
+	start := timeNow()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, fig := range figs {
+		if len(fig.Series) == 0 {
+			return nil, fmt.Errorf("experiment: figure %s has no series", fig.ID)
+		}
+	}
+
+	p := newPool(so.Jobs)
+	defer p.close()
+
+	// Enqueue everything before waiting on anything: the pool sees the
+	// whole matrix at once, so workers drain replications of study N+1
+	// while study N's stragglers finish.
+	jobs := make([][]*seriesJob, len(figs))
+	for fi, fig := range figs {
+		jobs[fi] = make([]*seriesJob, len(fig.Series))
+		for si, s := range fig.Series {
+			jobs[fi][si] = p.submitSeries(ctx, so.Cache, s.Config, opts)
+		}
+	}
+
+	out := &SweepResult{
+		Figures:    make([]*FigureResult, len(figs)),
+		FigureErrs: make([]error, len(figs)),
+	}
+	var sweepErrs []error
+	for fi, fig := range figs {
+		fr := &FigureResult{Figure: fig, Series: make([]SeriesResult, 0, len(fig.Series))}
+		var serErrs []error
+		for si, s := range fig.Series {
+			rs, err := jobs[fi][si].wait()
+			if err != nil {
+				serErrs = append(serErrs, fmt.Errorf("experiment: %s / %s: %w", fig.ID, s.Label, err))
+				continue
+			}
+			fr.Series = append(fr.Series, SeriesResult{
+				Label:     s.Label,
+				Band:      rs.Band,
+				FinalMean: rs.FinalMean(),
+				RunSet:    rs,
+			})
+		}
+		fr.Elapsed = timeNow().Sub(start)
+		out.Figures[fi] = fr
+		if len(serErrs) > 0 {
+			err := errors.Join(serErrs...)
+			out.FigureErrs[fi] = err
+			sweepErrs = append(sweepErrs, err)
+		}
+	}
+	out.Cache = so.Cache.Stats()
+	out.Elapsed = timeNow().Sub(start)
+	return out, errors.Join(sweepErrs...)
+}
+
+// seriesJob tracks one scenario's replications through the pool: slots are
+// indexed by replication so assembly order never depends on completion
+// order.
+type seriesJob struct {
+	cfg     core.Config
+	opts    core.Options
+	results []*core.Result
+	errs    []*core.ReplicationError
+	pending sync.WaitGroup
+	// cfgErr short-circuits a config that fails validation before any
+	// replication is enqueued, preserving RunContext's single-error shape.
+	cfgErr error
+}
+
+// submitSeries validates cfg, fingerprints it once, and enqueues one task
+// per replication.
+func (p *pool) submitSeries(ctx context.Context, cache *ReplicationCache, cfg core.Config, opts core.Options) *seriesJob {
+	opts = opts.WithDefaults()
+	j := &seriesJob{cfg: cfg, opts: opts}
+	if err := cfg.Validate(); err != nil {
+		j.cfgErr = err
+		return j
+	}
+	if opts.MinReplications > opts.Replications {
+		j.cfgErr = fmt.Errorf("core: salvage quorum %d exceeds %d replications",
+			opts.MinReplications, opts.Replications)
+		return j
+	}
+	var fp Fingerprint // zero value: uncacheable, skips hashing entirely
+	if cache != nil {
+		fp = ConfigFingerprint(cfg)
+	}
+	j.results = make([]*core.Result, opts.Replications)
+	j.errs = make([]*core.ReplicationError, opts.Replications)
+	j.pending.Add(opts.Replications)
+	for i := 0; i < opts.Replications; i++ {
+		i := i
+		seed := core.ReplicationSeed(opts.BaseSeed, i)
+		p.submit(func() {
+			defer j.pending.Done()
+			j.results[i], j.errs[i] = cache.run(ctx, cfg, fp, i, seed)
+		})
+	}
+	return j
+}
+
+// wait blocks until every replication of the series has run, then
+// assembles the RunSet with core's salvage semantics.
+func (j *seriesJob) wait() (*core.RunSet, error) {
+	if j.cfgErr != nil {
+		return nil, j.cfgErr
+	}
+	j.pending.Wait()
+	return core.AssembleRunSet(j.cfg, j.opts, j.results, j.errs)
+}
+
+// pool is a bounded FIFO worker pool. Tasks may be submitted while workers
+// run; close drains the queue and joins the workers.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	done   sync.WaitGroup
+}
+
+// newPool starts jobs workers (GOMAXPROCS when jobs <= 0).
+func newPool(jobs int) *pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.done.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.done.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		fn()
+	}
+}
+
+// submit enqueues one task. Panics after close (a scheduler bug, not a
+// runtime condition).
+func (p *pool) submit(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("experiment: submit on closed pool")
+	}
+	p.queue = append(p.queue, fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// close marks the queue complete, lets workers drain it, and joins them.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.done.Wait()
+}

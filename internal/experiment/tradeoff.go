@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -59,10 +61,50 @@ func DefaultTradeoffConfig(s Scale) TradeoffConfig {
 	}
 }
 
+// tradeoffCounts accumulates flag classifications across the replications
+// of one threshold level. PostRun hooks run concurrently under the sweep
+// scheduler, so the totals are mutex-guarded; the counts are integers, so
+// the accumulated sums are exact regardless of completion order.
+type tradeoffCounts struct {
+	mu                sync.Mutex
+	falsePos, truePos int
+}
+
+// collect is the PostRun hook: it pairs each replication's monitor with
+// its network at the horizon and classifies every flagged phone.
+func (c *tradeoffCounts) collect(net *mms.Network) {
+	falsePos, truePos := 0, 0
+	for _, r := range net.Responses() {
+		m, ok := r.(*response.Monitor)
+		if !ok {
+			continue
+		}
+		for _, p := range m.FlaggedPhones() {
+			ph := net.Phone(p)
+			if ph == nil {
+				continue
+			}
+			if ph.State == mms.StateInfected {
+				truePos++
+			} else {
+				falsePos++
+			}
+		}
+	}
+	c.mu.Lock()
+	c.falsePos += falsePos
+	c.truePos += truePos
+	c.mu.Unlock()
+}
+
 // RunMonitorTradeoff sweeps the monitoring threshold and measures both the
 // containment of Virus 3 and the false-positive flags caused by legitimate
-// traffic. Replications run serially so each monitor instance can be
-// paired with its network at the horizon.
+// traffic. All thresholds' replications are flattened onto one worker pool
+// (opts.Parallelism wide); each replication gets a fresh monitor through
+// the ordinary factory path, and a PostRun hook pairs it with its network
+// at the horizon via mms.Network.Responses. The PostRun hook makes these
+// configs uncacheable by design — every replication measures its own
+// mechanism state, so memoizing would be wrong.
 func RunMonitorTradeoff(tc TradeoffConfig, opts core.Options) ([]TradeoffPoint, error) {
 	if len(tc.Thresholds) == 0 {
 		return nil, fmt.Errorf("experiment: tradeoff needs thresholds")
@@ -70,60 +112,36 @@ func RunMonitorTradeoff(tc TradeoffConfig, opts core.Options) ([]TradeoffPoint, 
 	if tc.Window <= 0 || tc.ForcedWait <= 0 || tc.LegitMeanInterval <= 0 {
 		return nil, fmt.Errorf("experiment: tradeoff timings must be positive")
 	}
-	opts = optsWithDefaults(opts)
-	points := make([]TradeoffPoint, 0, len(tc.Thresholds))
-	for _, threshold := range tc.Thresholds {
-		point := TradeoffPoint{Threshold: threshold}
-		for rep := 0; rep < opts.Replications; rep++ {
-			monitor := &response.Monitor{
-				Window:     tc.Window,
-				Threshold:  threshold,
-				ForcedWait: tc.ForcedWait,
-			}
-			cfg := tc.Scale.paperConfig(virus.Virus3())
-			cfg.Network.LegitSendInterval = rng.Exponential{MeanD: tc.LegitMeanInterval}
-			cfg.Responses = []mms.ResponseFactory{
-				func() mms.Response { return monitor },
-			}
-			falsePositives, truePositives := 0, 0
-			cfg.PostRun = func(net *mms.Network) {
-				for _, p := range monitor.FlaggedPhones() {
-					ph := net.Phone(p)
-					if ph == nil {
-						continue
-					}
-					if ph.State == mms.StateInfected {
-						truePositives++
-					} else {
-						falsePositives++
-					}
-				}
-			}
-			seed := opts.BaseSeed + uint64(rep)*0x9e3779b97f4a7c15
-			res, err := core.RunOnce(cfg, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: tradeoff threshold %d: %w", threshold, err)
-			}
-			point.FinalInfected += float64(res.FinalInfected)
-			point.FalsePositives += float64(falsePositives)
-			point.TruePositives += float64(truePositives)
+	opts = opts.WithDefaults()
+
+	p := newPool(opts.Parallelism)
+	defer p.close()
+	jobs := make([]*seriesJob, len(tc.Thresholds))
+	counts := make([]*tradeoffCounts, len(tc.Thresholds))
+	for ti, threshold := range tc.Thresholds {
+		counts[ti] = &tradeoffCounts{}
+		cfg := tc.Scale.paperConfig(virus.Virus3())
+		cfg.Network.LegitSendInterval = rng.Exponential{MeanD: tc.LegitMeanInterval}
+		cfg.Responses = []mms.ResponseFactory{
+			response.NewMonitorFull(tc.Window, threshold, tc.ForcedWait),
 		}
-		n := float64(opts.Replications)
-		point.FinalInfected /= n
-		point.FalsePositives /= n
-		point.TruePositives /= n
-		points = append(points, point)
+		cfg.PostRun = counts[ti].collect
+		jobs[ti] = p.submitSeries(context.Background(), nil, cfg, opts)
+	}
+
+	points := make([]TradeoffPoint, 0, len(tc.Thresholds))
+	for ti, threshold := range tc.Thresholds {
+		rs, err := jobs[ti].wait()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: tradeoff threshold %d: %w", threshold, err)
+		}
+		n := float64(len(rs.Results))
+		points = append(points, TradeoffPoint{
+			Threshold:      threshold,
+			FinalInfected:  rs.FinalMean(),
+			FalsePositives: float64(counts[ti].falsePos) / n,
+			TruePositives:  float64(counts[ti].truePos) / n,
+		})
 	}
 	return points, nil
-}
-
-// optsWithDefaults mirrors core's defaulting for the serial runner.
-func optsWithDefaults(o core.Options) core.Options {
-	if o.Replications <= 0 {
-		o.Replications = 10
-	}
-	if o.BaseSeed == 0 {
-		o.BaseSeed = 1
-	}
-	return o
 }

@@ -118,6 +118,7 @@ type Network struct {
 	userSrc     []*rng.Source // per-phone user-behaviour stream
 	netSrc      *rng.Source   // delivery jitter stream
 	controllers []SendController
+	attached    []Response // responses installed via AttachResponse, in order
 
 	// Fault-injection state (nil/empty when cfg.Faults injects nothing).
 	faults   *faults.Schedule

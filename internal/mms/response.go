@@ -19,3 +19,33 @@ type Response interface {
 // ResponseFactory builds a fresh Response per replication, so mechanisms can
 // keep per-run state.
 type ResponseFactory func() Response
+
+// ResponseDescriber is optionally implemented by Response values whose
+// behaviour is fully determined by declarative parameters. Descriptor
+// returns a canonical encoding of those parameters: two responses with
+// equal descriptors must behave identically in every replication, because
+// the experiment layer folds descriptors into configuration fingerprints
+// that content-address cached replication results. A response carrying
+// behaviour a string cannot capture — callbacks, state shared across
+// replications, ambient inputs — must NOT implement this interface;
+// factories whose products are not describable simply make their
+// configuration uncacheable, which is always safe.
+type ResponseDescriber interface {
+	Descriptor() string
+}
+
+// AttachResponse installs r into the network via r.Attach and records the
+// instance, so post-run analyses (core.Config.PostRun hooks) can locate
+// the mechanism objects that served a given replication through Responses.
+func (n *Network) AttachResponse(r Response, src *rng.Source) error {
+	if err := r.Attach(n, src); err != nil {
+		return err
+	}
+	n.attached = append(n.attached, r)
+	return nil
+}
+
+// Responses returns the mechanisms installed via AttachResponse, in attach
+// order. The returned slice is shared with the network; callers must not
+// modify it.
+func (n *Network) Responses() []Response { return n.attached }

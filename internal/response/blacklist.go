@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/mms"
@@ -70,3 +71,11 @@ func (b *Blacklist) OnSent(p mms.PhoneID, _ time.Duration, _ int) {
 
 // Blacklisted reports whether phone p has been cut off.
 func (b *Blacklist) Blacklisted(p mms.PhoneID) bool { return b.blacklisted[p] }
+
+// Descriptor implements mms.ResponseDescriber: blacklisting is fully
+// determined by its activation threshold.
+func (b *Blacklist) Descriptor() string {
+	return "blacklist|threshold=" + strconv.Itoa(b.Threshold)
+}
+
+var _ mms.ResponseDescriber = (*Blacklist)(nil)

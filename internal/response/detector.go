@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/des"
@@ -111,3 +112,14 @@ func (d *Detector) Inspect(from mms.PhoneID, _ int, now time.Duration) mms.Filte
 
 // Active reports whether the analysis period has completed.
 func (d *Detector) Active() bool { return d.active }
+
+// Descriptor implements mms.ResponseDescriber. It covers every
+// behaviour-determining parameter, including the per-copy independence
+// flag that NewDetector leaves false.
+func (d *Detector) Descriptor() string {
+	return "detector|acc=" + strconv.FormatFloat(d.Accuracy, 'x', -1, 64) +
+		"|delay=" + strconv.FormatInt(int64(d.AnalysisDelay), 10) +
+		"|percopy=" + strconv.FormatBool(d.IndependentPerCopy)
+}
+
+var _ mms.ResponseDescriber = (*Detector)(nil)

@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mms"
 	"repro/internal/rng"
@@ -44,3 +45,11 @@ func (e *Education) Attach(n *mms.Network, _ *rng.Source) error {
 	}
 	return n.SetAcceptanceFactor(af)
 }
+
+// Descriptor implements mms.ResponseDescriber: education is fully
+// determined by its target eventual acceptance.
+func (e *Education) Descriptor() string {
+	return "education|acceptance=" + strconv.FormatFloat(e.EventualAcceptance, 'x', -1, 64)
+}
+
+var _ mms.ResponseDescriber = (*Education)(nil)

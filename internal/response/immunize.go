@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/des"
@@ -93,3 +94,12 @@ func (im *Immunizer) deploy(n *mms.Network, src *rng.Source) {
 func (im *Immunizer) DeploymentStarted() (time.Duration, bool) {
 	return im.deployStarted, im.started
 }
+
+// Descriptor implements mms.ResponseDescriber: immunization is fully
+// determined by its development time and deployment window.
+func (im *Immunizer) Descriptor() string {
+	return "immunize|dev=" + strconv.FormatInt(int64(im.DevelopmentTime), 10) +
+		"|deploy=" + strconv.FormatInt(int64(im.DeploymentWindow), 10)
+}
+
+var _ mms.ResponseDescriber = (*Immunizer)(nil)

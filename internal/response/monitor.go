@@ -3,6 +3,7 @@ package response
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/mms"
@@ -142,3 +143,13 @@ func (m *Monitor) FlaggedPhones() []mms.PhoneID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// Descriptor implements mms.ResponseDescriber: monitoring is fully
+// determined by its window, threshold, and forced wait.
+func (m *Monitor) Descriptor() string {
+	return "monitor|window=" + strconv.FormatInt(int64(m.Window), 10) +
+		"|threshold=" + strconv.Itoa(m.Threshold) +
+		"|wait=" + strconv.FormatInt(int64(m.ForcedWait), 10)
+}
+
+var _ mms.ResponseDescriber = (*Monitor)(nil)

@@ -21,6 +21,7 @@ package response
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/des"
@@ -41,8 +42,9 @@ type Scan struct {
 }
 
 var (
-	_ mms.Response = (*Scan)(nil)
-	_ mms.Filter   = (*Scan)(nil)
+	_ mms.Response          = (*Scan)(nil)
+	_ mms.Filter            = (*Scan)(nil)
+	_ mms.ResponseDescriber = (*Scan)(nil)
 )
 
 // NewScan returns a factory for gateway virus scans with the given
@@ -87,3 +89,9 @@ func (s *Scan) Inspect(mms.PhoneID, int, time.Duration) mms.FilterVerdict {
 
 // Active reports whether the signature has been deployed.
 func (s *Scan) Active() bool { return s.active }
+
+// Descriptor implements mms.ResponseDescriber: the scan's behaviour is
+// fully determined by its activation delay.
+func (s *Scan) Descriptor() string {
+	return "scan|delay=" + strconv.FormatInt(int64(s.ActivationDelay), 10)
+}
