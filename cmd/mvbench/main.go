@@ -2,10 +2,12 @@
 // a machine-readable BENCH_<label>.json, making simulator speed a checked
 // artifact rather than a claim (DESIGN.md §9).
 //
-// The suite covers the three layers of the hot path: raw DES kernel
+// The suite covers the layers of the hot path: raw DES kernel
 // throughput (schedule/fire batches, self-perpetuating chains,
 // schedule+cancel round trips), SAN timed-activity completion on the phone
-// model, and one full paper figure at reduced replications. Each entry
+// model, one full paper figure at reduced replications, and the persistent
+// store's result codec (whose encoded size doubles as a framing-drift
+// sentinel). Each entry
 // records ns/op, allocs/op, bytes/op, and — where meaningful — events/sec;
 // figure runs also record their headline mean-final-infections as a
 // built-in correctness sanity, which is deterministic for the pinned seeds.
@@ -39,6 +41,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/sanphone"
+	"repro/internal/store"
+	"repro/internal/virus"
 )
 
 // schemaVersion gates comparisons across incompatible report layouts.
@@ -89,6 +93,7 @@ func suite() []spec {
 		{"san/phone-activity", benchSANPhone},
 		{"figure1/reduced", benchFigure1},
 		{"figures/sweep-reduced", benchFiguresSweep},
+		{"store/codec-roundtrip", benchStoreCodec},
 	}
 }
 
@@ -230,6 +235,36 @@ func benchFiguresSweep(b *testing.B) {
 	last := sr.Figures[len(sr.Figures)-1].Series
 	b.ReportMetric(first[0].FinalMean, "final-infected-first-study")
 	b.ReportMetric(last[len(last)-1].FinalMean, "final-infected-last-study")
+}
+
+// benchStoreCodec measures one persistent-store encode+decode round trip of
+// a real replication result (Virus 3, 120 phones, 12 h horizon, seed 42).
+// The encoded size is a headline: the framing and payload layout are
+// deterministic, so any codec change shows up as byte drift here before it
+// invalidates on-disk caches in the field.
+func benchStoreCodec(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.Default(virus.Virus3())
+	cfg.Population = 120
+	cfg.Graph.MeanDegree = 12
+	cfg.Horizon = 12 * time.Hour
+	res, err := core.RunOnce(cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := store.EncodeResult(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+		if _, err := store.DecodeResult(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "encoded-bytes")
 }
 
 // toResult converts a raw BenchmarkResult, splitting the events metric off
@@ -399,7 +434,7 @@ func writeReport(rep Report, dir string) (string, error) {
 	}
 	data = append(data, '\n')
 	path := filepath.Join(dir, "BENCH_"+rep.Label+".json")
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := store.WriteFileAtomic(store.OS, path, data); err != nil {
 		return "", err
 	}
 	return path, nil

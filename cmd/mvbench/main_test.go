@@ -172,6 +172,7 @@ func TestSuitePinned(t *testing.T) {
 		"san/phone-activity",
 		"figure1/reduced",
 		"figures/sweep-reduced",
+		"store/codec-roundtrip",
 	}
 	got := suite()
 	if len(got) != len(want) {

@@ -15,10 +15,17 @@
 //
 //	mvfigures [-figure all|figure1|...|scaling|combined] [-reps N]
 //	          [-seed S] [-scale F] [-grid N] [-jobs N] [-nocache]
-//	          [-out DIR] [-quiet]
+//	          [-storedir DIR] [-resume] [-out DIR] [-quiet]
+//
+// With -storedir the replication cache gains a persistent tier: results
+// are written to a crash-safe content-addressed store and completed units
+// are journaled, so a killed sweep rerun with the same flags plus -resume
+// replays finished work from disk and loses at most in-flight
+// replications. Output bytes are identical to an uninterrupted run.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -28,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,6 +54,8 @@ func run() error {
 		grid     = flag.Int("grid", 200, "time-grid points per curve")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width shared by all studies")
 		nocache  = flag.Bool("nocache", false, "disable the replication result cache")
+		storeDir = flag.String("storedir", "", "persist replication results to this directory (content-addressed store + sweep journal)")
+		resume   = flag.Bool("resume", false, "resume a killed sweep: replay the store directory's journal and skip finished units")
 		outDir   = flag.String("out", "results", "output directory for CSV files")
 		quiet    = flag.Bool("quiet", false, "suppress terminal charts")
 	)
@@ -53,6 +63,12 @@ func run() error {
 
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be >= 1, got %d", *jobs)
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume needs -storedir: the journal to resume lives in the store directory")
+	}
+	if *nocache && *storeDir != "" {
+		return fmt.Errorf("-nocache and -storedir conflict: the persistent store is a cache tier")
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
@@ -75,7 +91,18 @@ func run() error {
 	}
 
 	so := experiment.SweepOptions{Jobs: *jobs}
-	if !*nocache {
+	switch {
+	case *storeDir != "":
+		ps, err := experiment.OpenPersistentSweep(*storeDir, *resume)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ps.Close() }()
+		so.Cache = ps.Cache
+		if *resume {
+			fmt.Printf("resume: %d units already complete in %s\n", ps.Resumed, *storeDir)
+		}
+	case !*nocache:
 		so.Cache = experiment.NewReplicationCache()
 	}
 	sr, sweepErr := experiment.RunSweep(context.Background(), figures, opts, so)
@@ -89,17 +116,12 @@ func run() error {
 			continue
 		}
 		path := filepath.Join(*outDir, fr.Figure.ID+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", path, err)
-		}
-		if err := fr.WriteCSV(f); err != nil {
-			// Best-effort close: the write error is the one worth reporting.
-			_ = f.Close()
+		var buf bytes.Buffer
+		if err := fr.WriteCSV(&buf); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close %s: %w", path, err)
+		if err := store.WriteFileAtomic(store.OS, path, buf.Bytes()); err != nil {
+			return err
 		}
 		fmt.Println(fr.Summary())
 		if !*quiet {
@@ -116,8 +138,12 @@ func run() error {
 	}
 	if so.Cache != nil {
 		st := sr.Cache
-		fmt.Printf("sweep: %d jobs, %s elapsed, cache %d hits / %d misses (%.1f%% hit rate, %d uncacheable)\n",
-			*jobs, sr.Elapsed.Round(1e6), st.Hits, st.Misses, 100*st.HitRate(), st.Uncacheable)
+		fmt.Printf("sweep: %d jobs, %s elapsed, cache %d mem hits / %d disk hits / %d misses (%.1f%% hit rate, %d uncacheable)\n",
+			*jobs, sr.Elapsed.Round(1e6), st.Hits, st.DiskHits, st.Misses, 100*st.HitRate(), st.Uncacheable)
+		if *storeDir != "" {
+			fmt.Printf("store: %d peer hits, %d quarantined, %d I/O errors\n",
+				st.PeerHits, st.Quarantined, st.StoreErrors)
+		}
 	}
 	return sweepErr
 }

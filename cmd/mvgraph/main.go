@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/store"
 )
 
 func main() {
@@ -65,19 +67,25 @@ func run() error {
 	}
 	printStats(g)
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
+	var commit func() error
 	if *out != "" {
-		f, err := os.Create(*out)
+		af, err := store.CreateAtomic(store.OS, *out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		// Abort is a no-op after Commit; this only cleans up error paths.
+		defer af.Abort()
+		w = af
+		commit = af.Commit
 	}
 	if err := g.WriteContactLists(w); err != nil {
 		return err
 	}
-	if *out != "" {
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 	return nil

@@ -37,6 +37,7 @@ import (
 	"repro/internal/mms"
 	"repro/internal/response"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/virus"
 )
@@ -72,8 +73,14 @@ func run() error {
 		timeout    = flag.Duration("timeout", 0, "wall-clock run budget; salvage whatever finished (0 = none)")
 		minReps    = flag.Int("min-reps", 0, "salvage quorum: accept the run if at least this many replications survive (0 = all must)")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "replications run concurrently")
+		storeDir   = flag.String("storedir", "", "persist replication results to this directory (content-addressed store + sweep journal)")
+		resume     = flag.Bool("resume", false, "resume a killed run: replay the store directory's journal and skip finished replications")
 	)
 	flag.Parse()
+
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume needs -storedir: the journal to resume lives in the store directory")
+	}
 
 	if *virusNum < 1 || *virusNum > 4 {
 		return fmt.Errorf("virus %d outside 1-4", *virusNum)
@@ -163,15 +170,32 @@ func run() error {
 		YLabel: "Infection Count",
 		Series: []experiment.Series{{Label: label, Config: cfg}},
 	}
-	fr, err := experiment.RunFigureContext(ctx, fig, core.Options{
+	var cache *experiment.ReplicationCache
+	if *storeDir != "" {
+		ps, err := experiment.OpenPersistentSweep(*storeDir, *resume)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ps.Close() }()
+		cache = ps.Cache
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resume: %d units already complete in %s\n", ps.Resumed, *storeDir)
+		}
+	}
+	fr, err := experiment.RunFigureCached(ctx, fig, core.Options{
 		Replications:    *reps,
 		BaseSeed:        *seed,
 		GridPoints:      *grid,
 		MinReplications: *minReps,
 		Parallelism:     *jobs,
-	})
+	}, cache)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "store: %d disk hits / %d misses, %d quarantined, %d I/O errors\n",
+			st.DiskHits, st.Misses, st.Quarantined, st.StoreErrors)
 	}
 	for _, sr := range fr.Series {
 		for _, fe := range sr.RunSet.Failed {
@@ -208,15 +232,18 @@ func writeTrace(cfg core.Config, seed uint64, path string) error {
 	if _, err := core.RunOnce(traced, seed); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	if rec.Truncated() {
 		fmt.Fprintln(os.Stderr, "trace truncated at 1M events")
 	}
-	return rec.WriteJSONL(f)
+	af, err := store.CreateAtomic(store.OS, path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(af); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
 }
 
 func parseImmunize(s string) (dev, deploy time.Duration, err error) {

@@ -150,6 +150,7 @@ func DefaultCheckers() []Checker {
 		MapOrder{},
 		FloatEq{},
 		ErrCheck{},
+		AtomicWrite{},
 	}
 }
 

@@ -35,6 +35,7 @@ var corpusCases = []struct{ dir, path string }{
 	{"rngstream", "testmod/internal/core"},
 	{"floateq", "testmod/internal/epidemic"},
 	{"errcheck", "testmod/internal/faults"},
+	{"atomicwrite", "testmod/cmd/mvtool"},
 	{"suppress", "testmod/internal/san"},
 	{"clean", "testmod/internal/virus"},
 }

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite flags direct os.Create and os.WriteFile calls in internal/
+// and cmd/ code. Result artifacts — CSVs, reports, traces, baselines —
+// must be published through internal/store's atomic-write helpers
+// (store.WriteFileAtomic, store.CreateAtomic): temp file, fsync, rename.
+// A direct create-then-write can be interrupted by a crash and leave a
+// torn artifact under the final name, which downstream byte-comparisons
+// (the determinism gate, the benchmark baseline) would then trust.
+// internal/store itself is exempt — it implements the discipline.
+type AtomicWrite struct{}
+
+// Name implements Checker.
+func (AtomicWrite) Name() string { return "atomicwrite" }
+
+// Doc implements Checker.
+func (AtomicWrite) Doc() string {
+	return "flag direct os.Create/os.WriteFile of artifacts outside the store atomic-write helpers"
+}
+
+// Check implements Checker.
+func (AtomicWrite) Check(p *Pass) {
+	if !IsToolPackage(p.Pkg.Path) || strings.HasSuffix(p.Pkg.Path, "internal/store") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(info, call, "os", "Create", "WriteFile") {
+				name := call.Fun.(*ast.SelectorExpr).Sel.Name
+				p.Reportf(call.Pos(), "direct os.%s: publish artifacts via store.WriteFileAtomic or store.CreateAtomic so a crash cannot leave a torn file", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Package atomicwrite seeds violations for the torn-artifact rule. Loaded
+// by the analyzer self-tests under a cmd/ package path; never built by
+// the go tool.
+package atomicwrite
+
+import "os"
+
+// Torn publishes artifacts with interruptible writes.
+func Torn(data []byte) error {
+	f, err := os.Create("results/figure1.csv") // want `\[atomicwrite\] direct os\.Create`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.WriteFile("results/report.json", data, 0o644); err != nil { // want `\[atomicwrite\] direct os\.WriteFile`
+		return err
+	}
+	_, err = f.Write(data)
+	return err
+}
+
+// Reading and non-artifact file work stays quiet.
+func Clean(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}
+
+// Suppressed documents the one legitimate direct write.
+func Suppressed(data []byte) error {
+	//mvlint:allow atomicwrite — scratch file outside the artifact tree
+	return os.WriteFile("/tmp/scratch", data, 0o600)
+}

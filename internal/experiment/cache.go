@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // ReplicationCache memoizes replication results by content address: the
@@ -17,21 +18,43 @@ import (
 // cache cannot perturb output bytes. Cached results are shared read-only;
 // nothing in the aggregation or reporting paths mutates a Result.
 //
-// The cache is safe for concurrent use. Concurrent requests for the same
-// key are collapsed: one caller simulates while the rest wait and count a
-// hit. Failed replications are never cached — the failure is returned to
-// the caller that ran it, and the key is released so a later request
-// retries.
+// The cache is two-tiered. The in-memory tier collapses concurrent
+// requests for the same key within one process: one caller simulates
+// while the rest wait and count a hit. The optional persistent tier
+// (NewPersistentCache) consults a store.Store before simulating and
+// publishes what it computes, so results survive the process and a killed
+// sweep resumes from disk; when the store also implements store.Computer,
+// computation of one key is additionally serialized across processes.
+// Store failures of any kind degrade to recomputation — a damaged or
+// unwritable store can slow a sweep down but never change its output.
+//
+// Failed replications are never cached in either tier: the failure is
+// returned to the caller that ran it, and the key is released so a later
+// request retries.
 type ReplicationCache struct {
 	entries sync.Map // replicationKey -> *cacheEntry
 
+	// persist and journal are the optional persistent tier; both nil in a
+	// memory-only cache. journal records completed units for sweep resume.
+	persist store.Store
+	journal *store.Journal
+
 	hits        atomic.Uint64
+	diskHits    atomic.Uint64
+	peerHits    atomic.Uint64
 	misses      atomic.Uint64
 	uncacheable atomic.Uint64
 }
 
-// NewReplicationCache returns an empty cache.
+// NewReplicationCache returns an empty in-memory cache.
 func NewReplicationCache() *ReplicationCache { return &ReplicationCache{} }
+
+// NewPersistentCache returns a cache backed by st. The journal, when
+// non-nil, receives one record per unit this process computes (disk hits
+// are already on record from the run that computed them).
+func NewPersistentCache(st store.Store, j *store.Journal) *ReplicationCache {
+	return &ReplicationCache{persist: st, journal: j}
+}
 
 // replicationKey addresses one replication: the config's content hash plus
 // the seed that drives every random stream of the run.
@@ -48,26 +71,36 @@ type cacheEntry struct {
 	res   *core.Result
 }
 
-// CacheStats is a point-in-time counter snapshot.
+// CacheStats is a point-in-time counter snapshot across both tiers.
 type CacheStats struct {
-	// Hits counts replications served from (or collapsed onto) a cached
-	// result instead of being simulated.
+	// Hits counts replications served from (or collapsed onto) an
+	// in-memory result instead of being simulated or read from disk.
 	Hits uint64
-	// Misses counts replications that were simulated and cached.
+	// DiskHits counts replications decoded from a valid store entry.
+	DiskHits uint64
+	// PeerHits counts replications obtained by waiting on another
+	// process's lease rather than duplicating its work.
+	PeerHits uint64
+	// Misses counts replications that were simulated.
 	Misses uint64
 	// Uncacheable counts replications that bypassed the cache because
 	// their config carried opaque elements (funcs, undescribed factories).
 	Uncacheable uint64
+	// Quarantined counts corrupt store entries moved aside and recomputed;
+	// StoreErrors counts store I/O failures (reads and writes), each of
+	// which also degraded to recomputation or left the store cold.
+	Quarantined, StoreErrors uint64
 }
 
-// HitRate returns Hits / (Hits + Misses), 0 when the cache saw no
-// cacheable work.
+// HitRate returns the fraction of cacheable replications served without
+// simulating, across both tiers; 0 when the cache saw no cacheable work.
 func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	served := s.Hits + s.DiskHits + s.PeerHits
+	total := served + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(served) / float64(total)
 }
 
 // Stats snapshots the counters. A nil cache reports zeros.
@@ -75,11 +108,19 @@ func (c *ReplicationCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	return CacheStats{
+	st := CacheStats{
 		Hits:        c.hits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		PeerHits:    c.peerHits.Load(),
 		Misses:      c.misses.Load(),
 		Uncacheable: c.uncacheable.Load(),
 	}
+	if c.persist != nil {
+		ps := c.persist.Stats()
+		st.Quarantined = ps.Quarantined
+		st.StoreErrors = ps.ReadErrors + ps.WriteErrors
+	}
+	return st
 }
 
 // run executes one replication through the cache. A nil cache or an
@@ -109,7 +150,7 @@ func (c *ReplicationCache) run(ctx context.Context, cfg core.Config, fp Fingerpr
 			// ownership on the next iteration and run it ourselves.
 			continue
 		}
-		res, repErr := core.RunReplication(ctx, cfg, rep, seed)
+		res, repErr := c.produce(ctx, cfg, fp, rep, seed)
 		if repErr != nil {
 			// Release before waking waiters so their retry re-owns the key
 			// instead of re-reading this dead entry.
@@ -118,8 +159,87 @@ func (c *ReplicationCache) run(ctx context.Context, cfg core.Config, fp Fingerpr
 			return nil, repErr
 		}
 		fresh.res = res
-		c.misses.Add(1)
 		close(fresh.ready)
 		return res, nil
 	}
+}
+
+// produce obtains the result for one key this process now owns in the
+// memory tier: from the persistent store when one is attached, by
+// simulation otherwise. Counters: exactly one of DiskHits, PeerHits, or
+// Misses is incremented per successful call.
+func (c *ReplicationCache) produce(ctx context.Context, cfg core.Config, fp Fingerprint, rep int, seed uint64) (*core.Result, *core.ReplicationError) {
+	k, addressable := fp.StoreKey(seed)
+	if c.persist == nil || !addressable {
+		res, repErr := core.RunReplication(ctx, cfg, rep, seed)
+		if repErr == nil {
+			c.misses.Add(1)
+		}
+		return res, repErr
+	}
+	if comp, ok := c.persist.(store.Computer); ok {
+		return c.produceSingleflight(ctx, comp, k, cfg, rep, seed)
+	}
+
+	// Plain store: read, else simulate and publish. A read error falls
+	// through to simulation (the store counts it); a failed publish only
+	// leaves the store cold (counted as WriteErrors by the store).
+	if res, ok, err := c.persist.Get(ctx, k); err == nil && ok {
+		c.diskHits.Add(1)
+		return res, nil
+	}
+	res, repErr := core.RunReplication(ctx, cfg, rep, seed)
+	if repErr != nil {
+		return nil, repErr
+	}
+	c.misses.Add(1)
+	if c.persist.Put(ctx, k, res) == nil {
+		c.recordDone(ctx, k)
+	}
+	return res, nil
+}
+
+// produceSingleflight routes computation through the store's cross-process
+// lease. Simulation failures pass through typed; store-layer failures
+// (I/O, a cancelled lease wait) degrade to a direct local run.
+func (c *ReplicationCache) produceSingleflight(ctx context.Context, comp store.Computer, k store.Key, cfg core.Config, rep int, seed uint64) (*core.Result, *core.ReplicationError) {
+	var repErr *core.ReplicationError
+	res, origin, err := comp.GetOrCompute(ctx, k, func() (*core.Result, error) {
+		r, re := core.RunReplication(ctx, cfg, rep, seed)
+		if re != nil {
+			repErr = re
+			return nil, re
+		}
+		return r, nil
+	})
+	if repErr != nil {
+		return nil, repErr
+	}
+	if err != nil {
+		res, repErr := core.RunReplication(ctx, cfg, rep, seed)
+		if repErr == nil {
+			c.misses.Add(1)
+		}
+		return res, repErr
+	}
+	switch origin {
+	case store.OriginDisk:
+		c.diskHits.Add(1)
+	case store.OriginPeer:
+		c.peerHits.Add(1)
+	default:
+		c.misses.Add(1)
+		c.recordDone(ctx, k)
+	}
+	return res, nil
+}
+
+// recordDone journals one freshly computed-and-published unit. A failed
+// append only costs resume bookkeeping — the result itself is already
+// durable in the store — so it is deliberately not fatal.
+func (c *ReplicationCache) recordDone(ctx context.Context, k store.Key) {
+	if c.journal == nil {
+		return
+	}
+	_ = c.journal.Append(ctx, k)
 }

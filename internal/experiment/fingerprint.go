@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mms"
 	"repro/internal/rng"
+	"repro/internal/store"
 )
 
 // This file content-addresses core.Config values so replication results can
@@ -50,6 +51,16 @@ type Fingerprint struct {
 
 // Cacheable reports whether the config hashed cleanly.
 func (f Fingerprint) Cacheable() bool { return f.ok }
+
+// StoreKey returns the persistent-store address of one replication of
+// this config, or ok=false for uncacheable configs, which never touch
+// the store.
+func (f Fingerprint) StoreKey(seed uint64) (store.Key, bool) {
+	if !f.ok {
+		return store.Key{}, false
+	}
+	return store.Key{Sum: f.sum, Seed: seed}, true
+}
 
 // Opacity names the first opaque element that made the config uncacheable;
 // empty when Cacheable.

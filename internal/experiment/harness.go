@@ -61,7 +61,14 @@ func RunFigure(fig Figure, opts core.Options) (*FigureResult, error) {
 // failures are collected with errors.Join and the partial FigureResult is
 // returned alongside the error, mirroring core.RunSet salvage.
 func RunFigureContext(ctx context.Context, fig Figure, opts core.Options) (*FigureResult, error) {
-	sr, err := RunSweep(ctx, []Figure{fig}, opts, SweepOptions{Jobs: opts.Parallelism})
+	return RunFigureCached(ctx, fig, opts, nil)
+}
+
+// RunFigureCached is RunFigureContext with a caller-supplied replication
+// cache — the hook the CLIs use to attach a persistent result store (and
+// its sweep journal) to a single-figure run. A nil cache runs uncached.
+func RunFigureCached(ctx context.Context, fig Figure, opts core.Options, cache *ReplicationCache) (*FigureResult, error) {
+	sr, err := RunSweep(ctx, []Figure{fig}, opts, SweepOptions{Jobs: opts.Parallelism, Cache: cache})
 	if err != nil {
 		if sr != nil {
 			return sr.Figures[0], err

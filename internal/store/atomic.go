@@ -1,0 +1,132 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+)
+
+// This file is the module's atomic-write discipline, used by the store for
+// its own entries and exported for every result artifact the CLIs emit
+// (CSV files, reports, traces, benchmark baselines). The contract: a file
+// either appears complete and durable under its final name, or it does not
+// appear at all — a crash mid-write leaves at worst an orphaned temp file,
+// never a torn artifact. mvlint's atomicwrite rule flags direct os.Create /
+// os.WriteFile calls in tool code so artifacts cannot silently bypass it.
+
+// WriteFileAtomic writes data to path atomically: temp file in the same
+// directory, write, fsync, close, rename, fsync of the directory. On any
+// failure the temp file is removed and path is untouched.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	return writeFileAtomic(context.Background(), fsys, path, data)
+}
+
+// writeFileAtomic is WriteFileAtomic honouring ctx: cancellation between
+// the write and the rename discards the temp file, so a cancelled write
+// either completed atomically already or leaves no trace at path.
+func writeFileAtomic(ctx context.Context, fsys FS, path string, data []byte) error {
+	af, err := CreateAtomic(fsys, path)
+	if err != nil {
+		return err
+	}
+	if _, err := af.Write(data); err != nil {
+		af.Abort()
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		af.Abort()
+		return fmt.Errorf("store: write %s cancelled: %w", path, err)
+	}
+	return af.Commit()
+}
+
+// AtomicFile is an in-progress atomic write: an io.Writer over a temp file
+// that only materializes at its final path on Commit. Abort (or a failed
+// Commit) removes the temp file. Exactly one of Commit and Abort must be
+// called; Abort after Commit is a no-op.
+type AtomicFile struct {
+	fsys  FS
+	f     File
+	path  string // final destination
+	done  bool
+	fault error // first write failure, latched so Commit cannot mask it
+}
+
+// CreateAtomic starts an atomic write of path. The temp file lives in
+// path's directory so the final rename never crosses filesystems.
+func CreateAtomic(fsys FS, path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: temp for %s: %w", path, err)
+	}
+	return &AtomicFile{fsys: fsys, f: f, path: path}, nil
+}
+
+// Write implements io.Writer. A short write is converted to an error and
+// latched, so a later Commit fails rather than publishing a truncation.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	if a.fault != nil {
+		return 0, a.fault
+	}
+	n, err := a.f.Write(p)
+	if err == nil && n < len(p) {
+		err = fmt.Errorf("store: short write to %s: %d of %d bytes", a.f.Name(), n, len(p))
+	}
+	if err != nil {
+		a.fault = err
+	}
+	return n, err
+}
+
+// Commit makes the file durable and visible at its final path. On failure
+// the temp file is removed and the destination is untouched.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("store: commit of already-finished write to %s", a.path)
+	}
+	a.done = true
+	if a.fault != nil {
+		a.discard()
+		return a.fault
+	}
+	if err := a.f.Sync(); err != nil {
+		a.discard()
+		return fmt.Errorf("store: fsync %s: %w", a.f.Name(), err)
+	}
+	tmp := a.f.Name()
+	if err := a.f.Close(); err != nil {
+		_ = a.fsys.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", tmp, err)
+	}
+	if err := a.fsys.Rename(tmp, a.path); err != nil {
+		_ = a.fsys.Remove(tmp)
+		return fmt.Errorf("store: publish %s: %w", a.path, err)
+	}
+	if err := a.fsys.SyncDir(filepath.Dir(a.path)); err != nil {
+		// The rename already happened; the entry exists but its
+		// durability across power loss is not guaranteed. Report it —
+		// callers treat a failed put as "not persisted".
+		return fmt.Errorf("store: fsync dir of %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Abort discards the write, leaving the destination untouched.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.discard()
+}
+
+// discard closes and removes the temp file, best effort.
+func (a *AtomicFile) discard() {
+	tmp := a.f.Name()
+	_ = a.f.Close()
+	_ = a.fsys.Remove(tmp)
+}

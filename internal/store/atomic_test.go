@@ -1,0 +1,144 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// noTempFiles fails the test if any orphaned temp file survives under
+// dir: a failed or aborted atomic write must clean up after itself.
+func noTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			if ok, _ := filepath.Match("*.tmp-*", filepath.Base(path)); ok {
+				t.Errorf("orphaned temp file %s", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.bin")
+	want := []byte("payload")
+	if err := WriteFileAtomic(OS, path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("read %q, wrote %q", got, want)
+	}
+	noTempFiles(t, dir)
+}
+
+// TestWriteFileAtomicFaults drives each injected filesystem fault through
+// a write and asserts the atomic contract: the call errors, the
+// destination is untouched, and no temp file is left behind.
+func TestWriteFileAtomicFaults(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name string
+		arm  func(*FaultFS)
+	}{
+		{"write error", func(f *FaultFS) { f.FailWriteIn(1) }},
+		{"short write", func(f *FaultFS) { f.ShortWriteIn(1) }},
+		{"rename error", func(f *FaultFS) { f.FailRenameIn(1) }},
+		{"fsync error", func(f *FaultFS) { f.FailSyncIn(1) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.bin")
+			old := []byte("previous complete artifact")
+			if err := os.WriteFile(path, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ffs := NewFaultFS(OS)
+			tc.arm(ffs)
+			if err := WriteFileAtomic(ffs, path, []byte("replacement")); err == nil {
+				t.Fatal("write under fault succeeded")
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || string(got) != string(old) {
+				t.Errorf("destination disturbed by failed write: %q, %v", got, err)
+			}
+			noTempFiles(t, dir)
+
+			// The failpoint is spent: the retry must succeed.
+			if err := WriteFileAtomic(ffs, path, []byte("replacement")); err != nil {
+				t.Errorf("retry after fault: %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicFaultErrorsAreInjected(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.FailWriteIn(1)
+	err := WriteFileAtomic(ffs, filepath.Join(dir, "x"), []byte("data"))
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("got %v, want an ErrInjected-wrapped fault", err)
+	}
+}
+
+func TestAtomicFileAbort(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	af, err := CreateAtomic(OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("half-finished")); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("aborted write left %s behind", path)
+	}
+	noTempFiles(t, dir)
+}
+
+func TestAtomicFileShortWriteLatches(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	af, err := CreateAtomic(ffs, filepath.Join(dir, "out.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteIn(1)
+	if _, err := af.Write([]byte("0123456789")); err == nil {
+		t.Fatal("short write not converted to an error")
+	}
+	// Later writes and the commit must keep failing: the file is torn.
+	if _, err := af.Write([]byte("more")); err == nil {
+		t.Error("write after latched fault succeeded")
+	}
+	if err := af.Commit(); err == nil {
+		t.Error("commit of a torn file succeeded")
+	}
+	noTempFiles(t, dir)
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/mms"
+	"repro/internal/virus"
+)
+
+// testResult builds a synthetic but fully populated result: every field
+// the codec must carry, including a multi-parent tree and exact
+// non-integer floats.
+func testResult(t *testing.T) *core.Result {
+	t.Helper()
+	c := curve.New(1)
+	for _, p := range []struct {
+		at time.Duration
+		v  float64
+	}{
+		{30 * time.Second, 2},
+		{5 * time.Minute, 3.5},
+		{2 * time.Hour, 7.25},
+	} {
+		if err := c.Append(p.at, p.v); err != nil {
+			t.Fatalf("build curve: %v", err)
+		}
+	}
+	return &core.Result{
+		Infections:    c,
+		FinalInfected: 7,
+		PeakInfected:  7,
+		Network: mms.Metrics{
+			MessagesSent: 41, Deliveries: 38, Reads: 20, Acceptances: 9,
+			Infections: 6, Patched: 3, LegitSent: 100, PhonePowerCycles: 2,
+		},
+		Engine: virus.Stats{
+			Activations: 6, MessagesAttempted: 44, MessagesSent: 41,
+			SendsDeferred: 2, SendsBlocked: 1,
+		},
+		GatewayDetected:   true,
+		GatewayDetectedAt: 90 * time.Minute,
+		Tree: mms.InfectionTree{
+			Seeds: []mms.PhoneID{0},
+			Children: map[mms.PhoneID][]mms.PhoneID{
+				0: {3, 5}, 3: {8, 9, 11}, 5: {2},
+			},
+			MaxDepth:      2,
+			MeanOffspring: 1.5,
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	want := testResult(t)
+	data, err := EncodeResult(want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCodecRoundTripRealReplication is the property the persistent cache
+// rests on: a result decoded from disk is indistinguishable from the
+// recomputed one, so every downstream artifact (CSV bands, claim checks)
+// is byte-identical either way.
+func TestCodecRoundTripRealReplication(t *testing.T) {
+	t.Parallel()
+
+	cfg := core.Default(virus.Virus3())
+	cfg.Population = 120
+	cfg.Graph.MeanDegree = 12
+	cfg.Horizon = 12 * time.Hour
+	want, err := core.RunOnce(cfg, 42)
+	if err != nil {
+		t.Fatalf("replication: %v", err)
+	}
+	data, err := EncodeResult(want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("real replication did not round-trip exactly")
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	t.Parallel()
+
+	res := testResult(t)
+	a, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := EncodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+}
+
+// TestCodecDetectsEveryByteFlip is the core integrity guarantee: no
+// single-byte corruption anywhere in a frame may decode successfully.
+func TestCodecDetectsEveryByteFlip(t *testing.T) {
+	t.Parallel()
+
+	data, err := EncodeResult(testResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xFF
+		if _, err := DecodeResult(mut); err == nil {
+			t.Errorf("flip of byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestCodecDetectsEveryTruncation(t *testing.T) {
+	t.Parallel()
+
+	data, err := EncodeResult(testResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeResult(data[:n]); err == nil {
+			t.Errorf("truncation to %d of %d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+func TestCodecVersionMismatchIsNotCorruption(t *testing.T) {
+	t.Parallel()
+
+	data, err := EncodeResult(testResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = codecVersion + 1
+	_, err = DecodeResult(data)
+	if !errors.Is(err, ErrCodecVersion) {
+		t.Errorf("future-version frame: got %v, want ErrCodecVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Errorf("version mismatch must not be classed as corruption")
+	}
+}
+
+func TestCodecNilCurve(t *testing.T) {
+	t.Parallel()
+
+	res := testResult(t)
+	res.Infections = nil
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Infections != nil {
+		t.Errorf("nil curve round-tripped to %+v", got.Infections)
+	}
+}
+
+func TestCodecNilResult(t *testing.T) {
+	t.Parallel()
+
+	if _, err := EncodeResult(nil); err == nil {
+		t.Error("encoding nil result succeeded")
+	}
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func journalKeys() []Key {
+	return []Key{
+		testKey("fig17", 0),
+		testKey("fig17", 1),
+		testKey("fig18", math.MaxUint64),
+	}
+}
+
+// writeJournal appends keys to a fresh journal at path and closes it.
+func writeJournal(t *testing.T, path string, keys []Key) {
+	t.Helper()
+	j, done, err := OpenJournal(OS, path, false)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(done))
+	}
+	ctx := context.Background()
+	for _, k := range keys {
+		if err := j.Append(ctx, k); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	keys := journalKeys()
+	writeJournal(t, path, keys)
+
+	j, done, err := OpenJournal(OS, path, true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = j.Close() }()
+	if !reflect.DeepEqual(done, keys) {
+		t.Errorf("replay = %v, want %v", done, keys)
+	}
+}
+
+// TestJournalTornTailTolerated: a crash mid-append leaves a final line
+// without a newline; replay keeps every complete record before it.
+func TestJournalTornTailTolerated(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	keys := journalKeys()
+	writeJournal(t, path, keys)
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"fp":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, done, err := OpenJournal(OS, path, true)
+	if err != nil {
+		t.Fatalf("reopen torn journal: %v", err)
+	}
+	defer func() { _ = j.Close() }()
+	if !reflect.DeepEqual(done, keys) {
+		t.Errorf("torn-tail replay = %v, want %v", done, keys)
+	}
+}
+
+// TestJournalBadRecordStopsReplay: a record whose CRC does not match is
+// the torn tail; records past it are not trusted.
+func TestJournalBadRecordStopsReplay(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	keys := journalKeys()
+	writeJournal(t, path, keys)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines, want at least 3", len(lines))
+	}
+	// Corrupt the second record's seed: still valid JSON, CRC mismatch.
+	i := bytes.Index(lines[1], []byte(`"seed":"`))
+	if i < 0 {
+		t.Fatal("no seed field in journal line")
+	}
+	pos := i + len(`"seed":"`)
+	if lines[1][pos] == '0' {
+		lines[1][pos] = '1'
+	} else {
+		lines[1][pos] = '0'
+	}
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, done, err := OpenJournal(OS, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	if !reflect.DeepEqual(done, keys[:1]) {
+		t.Errorf("replay past a bad record: got %v, want %v", done, keys[:1])
+	}
+}
+
+func TestJournalResetDiscardsOldRecords(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeJournal(t, path, journalKeys())
+
+	j, done, err := OpenJournal(OS, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	if len(done) != 0 {
+		t.Errorf("reset journal replayed %d records", len(done))
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("reset journal still holds %d bytes", info.Size())
+	}
+}
+
+func TestJournalAppendCancelled(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(OS, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := j.Append(ctx, testKey("cfg", 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("append with cancelled ctx: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("cancelled append wrote %d bytes", info.Size())
+	}
+}
+
+// TestJournalAppendIsOneDurableWrite: each record reaches the file as a
+// single write followed by a Sync, the discipline that bounds crash loss
+// to one torn line.
+func TestJournalAppendIsOneDurableWrite(t *testing.T) {
+	t.Parallel()
+
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(ffs, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	before := ffs.Writes
+	if err := j.Append(context.Background(), testKey("cfg", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.Writes - before; got != 1 {
+		t.Errorf("append issued %d writes, want exactly 1", got)
+	}
+}
+
+func TestJournalAppendWriteFault(t *testing.T) {
+	t.Parallel()
+
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(ffs, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	ffs.FailWriteIn(1)
+	if err := j.Append(context.Background(), testKey("cfg", 3)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append under write fault: %v", err)
+	}
+	// The journal remains usable for the next record.
+	if err := j.Append(context.Background(), testKey("cfg", 4)); err != nil {
+		t.Fatalf("append after spent fault: %v", err)
+	}
+	j2, done, err := OpenJournal(ffs, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if want := []Key{testKey("cfg", 4)}; !reflect.DeepEqual(done, want) {
+		t.Errorf("replay = %v, want only the record that succeeded", done)
+	}
+}

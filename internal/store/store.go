@@ -1,0 +1,441 @@
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Key is the content address of one replication result: the config
+// fingerprint (experiment.ConfigFingerprint) plus the replication seed
+// that drives every random stream of the run. Because a replication is a
+// pure function of that pair, a key's value never changes — entries are
+// immutable and idempotent to rewrite.
+type Key struct {
+	Sum  [sha256.Size]byte
+	Seed uint64
+}
+
+// String renders the key as it appears on disk: full fingerprint hex,
+// a dash, and the seed in fixed-width hex.
+func (k Key) String() string {
+	return hex.EncodeToString(k.Sum[:]) + "-" + fmt.Sprintf("%016x", k.Seed)
+}
+
+// Origin reports where GetOrCompute found a result.
+type Origin int
+
+const (
+	// OriginDisk: decoded from an existing store entry.
+	OriginDisk Origin = iota
+	// OriginComputed: computed by this caller and published.
+	OriginComputed
+	// OriginPeer: computed by another process holding the lease; this
+	// caller waited and read the published entry.
+	OriginPeer
+)
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	// DiskHits counts Gets served by decoding a valid entry.
+	DiskHits uint64
+	// Misses counts Gets that found no entry (including quarantined and
+	// version-incompatible ones, which are recomputed).
+	Misses uint64
+	// Puts counts entries published.
+	Puts uint64
+	// PeerHits counts results obtained by waiting out another process's
+	// lease instead of computing.
+	PeerHits uint64
+	// Quarantined counts corrupt entries moved aside (or deleted) after
+	// failing frame validation.
+	Quarantined uint64
+	// ReadErrors counts I/O failures on Get (not corruption, not misses).
+	ReadErrors uint64
+	// WriteErrors counts failed Puts; the result stays usable in memory.
+	WriteErrors uint64
+	// LeaseWaits counts times GetOrCompute found another process's live
+	// lease and waited. LeaseTakeovers counts stale leases broken.
+	LeaseWaits, LeaseTakeovers uint64
+}
+
+// Store is the persistence interface the replication cache layers on. A
+// Get that cannot produce a valid result reports a miss (or an error),
+// never a partial or corrupt value — the caller's fallback is always
+// recomputation.
+type Store interface {
+	// Get returns the stored result for k, or ok=false when the store
+	// has no valid entry. err is an I/O failure; corruption is handled
+	// internally (quarantine) and surfaces as a plain miss.
+	Get(ctx context.Context, k Key) (res *core.Result, ok bool, err error)
+	// Put publishes the result for k atomically: after Put returns nil
+	// the entry is durable; on error nothing partial is visible.
+	Put(ctx context.Context, k Key, res *core.Result) error
+	// Stats snapshots the counters.
+	Stats() Stats
+}
+
+// Computer is the optional cross-process singleflight extension: a store
+// that can serialize computation of one key across processes.
+type Computer interface {
+	// GetOrCompute returns the stored result or runs compute under a
+	// per-key lease, publishing its result. When another process holds
+	// the lease, it waits for that process's entry (or for the lease to
+	// go stale) instead of duplicating work.
+	GetOrCompute(ctx context.Context, k Key, compute func() (*core.Result, error)) (*core.Result, Origin, error)
+}
+
+// DiskOptions configures Open beyond the directory.
+type DiskOptions struct {
+	// FS is the filesystem; nil means the real one. Tests inject a
+	// *FaultFS here.
+	FS FS
+	// Clock reads wall time for lease staleness; nil means the system
+	// clock.
+	Clock clock.Clock
+	// LeaseTTL is how old a lease file may grow before any process may
+	// break it, the backstop for leases whose owner cannot be probed
+	// (default 5m). On the same host a dead owner is detected by pid
+	// immediately, without waiting out the TTL.
+	LeaseTTL time.Duration
+	// LeasePoll is the interval at which a waiter re-checks a held
+	// lease (default 25ms).
+	LeasePoll time.Duration
+	// Alive probes whether the process that wrote a lease still runs;
+	// nil means a signal-0 probe of the pid. Tests inject a stub.
+	Alive func(pid int) bool
+}
+
+// DiskStore is the production Store: one file per entry under dir,
+// written with temp-file + fsync + rename so a crash at any instant
+// leaves either the complete entry or nothing.
+//
+// Layout under dir:
+//
+//	objects/<ss>/<fingerprint>-<seed>.mvr   entries (ss = first hex byte)
+//	corrupt/                                quarantined invalid entries
+//	leases/<fingerprint>-<seed>.lease       cross-process singleflight
+//	journal.jsonl                           sweep journal (journal.go)
+//
+// Temp files live next to their final location (same directory, .tmp-*
+// suffix); one orphaned by a crash is inert — nothing ever reads it.
+type DiskStore struct {
+	dir       string
+	fsys      FS
+	now       clock.Clock
+	leaseTTL  time.Duration
+	leasePoll time.Duration
+	alive     func(pid int) bool
+
+	diskHits    atomic.Uint64
+	misses      atomic.Uint64
+	puts        atomic.Uint64
+	peerHits    atomic.Uint64
+	quarantined atomic.Uint64
+	readErrors  atomic.Uint64
+	writeErrors atomic.Uint64
+	leaseWaits  atomic.Uint64
+	takeovers   atomic.Uint64
+}
+
+var _ Store = (*DiskStore)(nil)
+var _ Computer = (*DiskStore)(nil)
+
+// Open prepares a DiskStore rooted at dir, creating the directory tree as
+// needed.
+func Open(dir string, opts DiskOptions) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty store directory")
+	}
+	s := &DiskStore{
+		dir:       dir,
+		fsys:      opts.FS,
+		now:       opts.Clock,
+		leaseTTL:  opts.LeaseTTL,
+		leasePoll: opts.LeasePoll,
+		alive:     opts.Alive,
+	}
+	if s.fsys == nil {
+		s.fsys = OS
+	}
+	if s.now == nil {
+		s.now = clock.System
+	}
+	if s.leaseTTL <= 0 {
+		s.leaseTTL = 5 * time.Minute
+	}
+	if s.leasePoll <= 0 {
+		s.leasePoll = 25 * time.Millisecond
+	}
+	if s.alive == nil {
+		s.alive = processAlive
+	}
+	for _, sub := range []string{"objects", "corrupt", "leases"} {
+		if err := s.fsys.MkdirAll(filepath.Join(dir, sub)); err != nil {
+			return nil, fmt.Errorf("store: init %s: %w", dir, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// JournalPath returns the conventional sweep-journal location inside the
+// store directory.
+func (s *DiskStore) JournalPath() string { return filepath.Join(s.dir, "journal.jsonl") }
+
+// objectPath shards entries by the fingerprint's first byte so no single
+// directory accumulates millions of files.
+func (s *DiskStore) objectPath(k Key) string {
+	name := k.String()
+	return filepath.Join(s.dir, "objects", name[:2], name+".mvr")
+}
+
+func (s *DiskStore) leasePath(k Key) string {
+	return filepath.Join(s.dir, "leases", k.String()+".lease")
+}
+
+// Get implements Store. Corruption of any kind — torn frame, checksum
+// mismatch, undecodable payload — is quarantined and reported as a miss,
+// so a damaged store degrades to recomputation, never to wrong answers.
+func (s *DiskStore) Get(ctx context.Context, k Key) (*core.Result, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	path := s.objectPath(k)
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return nil, false, nil
+		}
+		s.readErrors.Add(1)
+		return nil, false, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	res, err := DecodeResult(data)
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, ErrCodecVersion) {
+			// A healthy entry from another codec revision: recompute
+			// and overwrite, no quarantine.
+			return nil, false, nil
+		}
+		s.quarantine(path)
+		return nil, false, nil
+	}
+	s.diskHits.Add(1)
+	return res, true, nil
+}
+
+// quarantine moves a corrupt entry into corrupt/ (falling back to
+// deletion) so it cannot be re-read every sweep and stays available for
+// inspection.
+func (s *DiskStore) quarantine(path string) {
+	s.quarantined.Add(1)
+	dest := filepath.Join(s.dir, "corrupt", filepath.Base(path))
+	if err := s.fsys.Rename(path, dest); err != nil {
+		// Removal keeps the degraded-to-miss invariant even when the
+		// quarantine dir is unusable; if this fails too the entry stays
+		// put and every future Get re-detects the corruption.
+		_ = s.fsys.Remove(path)
+	}
+}
+
+// Put implements Store: encode, write to a temp file, fsync, rename into
+// place, fsync the directory. A cancelled context or any I/O failure
+// discards the temp file; the destination is never left partial.
+func (s *DiskStore) Put(ctx context.Context, k Key, res *core.Result) error {
+	data, err := EncodeResult(res)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	if err := writeFileAtomic(ctx, s.fsys, s.objectPath(k), data); err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats implements Store.
+func (s *DiskStore) Stats() Stats {
+	return Stats{
+		DiskHits:       s.diskHits.Load(),
+		Misses:         s.misses.Load(),
+		Puts:           s.puts.Load(),
+		PeerHits:       s.peerHits.Load(),
+		Quarantined:    s.quarantined.Load(),
+		ReadErrors:     s.readErrors.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+		LeaseWaits:     s.leaseWaits.Load(),
+		LeaseTakeovers: s.takeovers.Load(),
+	}
+}
+
+// GetOrCompute implements Computer: disk hit, else compute under a
+// per-key lease file created with O_CREATE|O_EXCL. A process that loses
+// the race waits for the winner's entry to appear, taking over the lease
+// if its owner dies (pid probe) or its file goes stale (TTL).
+//
+// Within one process the replication cache's in-memory singleflight
+// already collapses duplicate keys, so this path sees each key at most
+// once per process; the lease serializes computation across processes
+// sharing the store, the groundwork for distributed sweeps.
+func (s *DiskStore) GetOrCompute(ctx context.Context, k Key, compute func() (*core.Result, error)) (*core.Result, Origin, error) {
+	if res, ok, err := s.Get(ctx, k); err != nil {
+		return nil, OriginComputed, err
+	} else if ok {
+		return res, OriginDisk, nil
+	}
+	waited := false
+	for {
+		acquired, err := s.tryLease(k)
+		if err != nil {
+			return nil, OriginComputed, err
+		}
+		if acquired {
+			res, err := s.computeHoldingLease(ctx, k, compute, waited)
+			if err != nil {
+				return nil, OriginComputed, err
+			}
+			return res, OriginComputed, nil
+		}
+		// Another process is computing this key: wait for its entry.
+		if !waited {
+			waited = true
+			s.leaseWaits.Add(1)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, OriginComputed, ctx.Err()
+		case <-time.After(s.leasePoll):
+		}
+		if res, ok, err := s.Get(ctx, k); err != nil {
+			return nil, OriginComputed, err
+		} else if ok {
+			s.peerHits.Add(1)
+			return res, OriginPeer, nil
+		}
+		// Not published yet: loop — tryLease breaks the lease if its
+		// owner died, otherwise we keep waiting.
+	}
+}
+
+// computeHoldingLease runs compute and publishes its result, releasing
+// the lease in all cases. A failed Put is counted but not fatal: the
+// caller still gets the computed result, the store just stays cold.
+func (s *DiskStore) computeHoldingLease(ctx context.Context, k Key, compute func() (*core.Result, error), recheck bool) (*core.Result, error) {
+	defer s.releaseLease(k)
+	if recheck {
+		// We took over a stale lease; the dead owner may have published
+		// between our last poll and the takeover.
+		if res, ok, err := s.Get(ctx, k); err != nil {
+			return nil, err
+		} else if ok {
+			return res, nil
+		}
+	}
+	res, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	// Put failures are already counted in WriteErrors; the computed
+	// result is correct regardless.
+	_ = s.Put(ctx, k, res)
+	return res, nil
+}
+
+// tryLease attempts to create k's lease file exclusively. It breaks an
+// existing lease whose owner is provably dead (same-host pid probe) or
+// whose file has outlived the TTL, then retries once.
+func (s *DiskStore) tryLease(k Key) (bool, error) {
+	path := s.leasePath(k)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := s.fsys.OpenExcl(path)
+		if err == nil {
+			// Content is advisory (owner pid for the liveness probe);
+			// lease correctness rests on O_EXCL creation alone.
+			_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+			_ = f.Sync()
+			if err := f.Close(); err != nil {
+				_ = s.fsys.Remove(path)
+				return false, fmt.Errorf("store: write lease %s: %w", path, err)
+			}
+			return true, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return false, fmt.Errorf("store: acquire lease %s: %w", path, err)
+		}
+		if !s.leaseDead(path) {
+			return false, nil
+		}
+		// Stale: break it and retry the exclusive create. Concurrent
+		// breakers may both Remove; exactly one OpenExcl then wins.
+		s.takeovers.Add(1)
+		if err := s.fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return false, fmt.Errorf("store: break stale lease %s: %w", path, err)
+		}
+	}
+	return false, nil
+}
+
+// leaseDead reports whether the lease at path can be broken: its owner
+// pid no longer runs, or the file is older than the TTL. A vanished file
+// counts as dead (the owner released it).
+func (s *DiskStore) leaseDead(path string) bool {
+	info, err := s.fsys.Stat(path)
+	if err != nil {
+		return true
+	}
+	if s.now().Sub(info.ModTime()) > s.leaseTTL {
+		return true
+	}
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		return true
+	}
+	pid, err := strconv.Atoi(string(trimNewline(data)))
+	if err != nil || pid <= 0 {
+		// Unparseable owner (e.g. a torn lease write): only the TTL can
+		// break it.
+		return false
+	}
+	return !s.alive(pid)
+}
+
+// releaseLease removes k's lease file, best effort: an unremovable lease
+// is eventually broken by TTL.
+func (s *DiskStore) releaseLease(k Key) {
+	_ = s.fsys.Remove(s.leasePath(k))
+}
+
+func trimNewline(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// processAlive probes pid with signal 0, the conventional same-host
+// liveness check. FindProcess never fails on unix; the signal does.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	return p.Signal(syscall.Signal(0)) == nil
+}
