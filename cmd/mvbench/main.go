@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/sanphone"
 	"repro/internal/store"
 	"repro/internal/virus"
+	"repro/internal/workq"
 )
 
 // schemaVersion gates comparisons across incompatible report layouts.
@@ -93,6 +95,7 @@ func suite() []spec {
 		{"san/phone-activity", benchSANPhone},
 		{"figure1/reduced", benchFigure1},
 		{"figures/sweep-reduced", benchFiguresSweep},
+		{"figures/sweep-distributed", benchDistributedSweep},
 		{"store/codec-roundtrip", benchStoreCodec},
 	}
 }
@@ -235,6 +238,74 @@ func benchFiguresSweep(b *testing.B) {
 	last := sr.Figures[len(sr.Figures)-1].Series
 	b.ReportMetric(first[0].FinalMean, "final-infected-first-study")
 	b.ReportMetric(last[len(last)-1].FinalMean, "final-infected-last-study")
+}
+
+// benchDistributedSweep measures the distributed path end to end: per op,
+// a coordinator writes the work-queue manifest for Figure 2 at reduced
+// scale, a worker drains it into a fresh store, two late workers verify
+// an already-drained queue costs one scan, and the sweep assembles from
+// store reads alone. Workers run sequentially so the allocation count is
+// scheduling-independent and the gate stays exact (concurrency is the
+// race and chaos tests' job). Headlines pin the protocol's determinism:
+// every unit acked, zero retries, zero recomputation at assembly, and
+// the same final-infection means as any other execution mode.
+func benchDistributedSweep(b *testing.B) {
+	b.ReportAllocs()
+	figs, err := experiment.SelectStudies("figure2", experiment.Scale{Factor: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Replications: 2, GridPoints: 50, BaseSeed: 1}
+	spec := workq.Spec{Figure: "figure2", Reps: 2, BaseSeed: 1, Scale: 10, Grid: 50}
+	units, _ := experiment.SweepUnits(figs, opts)
+	var prog workq.Progress
+	var sr *experiment.SweepResult
+	var assemblyMisses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		storeDir, err := os.MkdirTemp("", "mvbench-dist-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord, err := workq.OpenQueue(experiment.QueueDir(storeDir), workq.QueueOptions{WorkerID: "coord"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.WriteManifest(spec, units); err != nil {
+			b.Fatal(err)
+		}
+		for w := 0; w < 3; w++ {
+			_, err := experiment.RunSweepWorker(context.Background(), experiment.WorkerConfig{
+				StoreDir: storeDir,
+				ID:       fmt.Sprintf("bench-%d", w),
+				Poll:     time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		prog = coord.Census(units)
+		ps, err := experiment.OpenPersistentSweep(storeDir, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err = experiment.RunSweep(context.Background(), figs, opts, experiment.SweepOptions{Jobs: 2, Cache: ps.Cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		assemblyMisses = sr.Cache.Misses
+		if err := ps.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.RemoveAll(storeDir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Acked), "units-acked")
+	b.ReportMetric(float64(prog.Retried), "units-retried")
+	b.ReportMetric(float64(assemblyMisses), "assembly-misses")
+	series := sr.Figures[0].Series
+	b.ReportMetric(series[len(series)-1].FinalMean, "final-infections")
 }
 
 // benchStoreCodec measures one persistent-store encode+decode round trip of

@@ -172,6 +172,7 @@ func TestSuitePinned(t *testing.T) {
 		"san/phone-activity",
 		"figure1/reduced",
 		"figures/sweep-reduced",
+		"figures/sweep-distributed",
 		"store/codec-roundtrip",
 	}
 	got := suite()

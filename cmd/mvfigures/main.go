@@ -15,13 +15,21 @@
 //
 //	mvfigures [-figure all|figure1|...|scaling|combined] [-reps N]
 //	          [-seed S] [-scale F] [-grid N] [-jobs N] [-nocache]
-//	          [-storedir DIR] [-resume] [-out DIR] [-quiet]
+//	          [-storedir DIR] [-resume] [-distributed] [-workers N]
+//	          [-out DIR] [-quiet]
 //
 // With -storedir the replication cache gains a persistent tier: results
 // are written to a crash-safe content-addressed store and completed units
 // are journaled, so a killed sweep rerun with the same flags plus -resume
 // replays finished work from disk and loses at most in-flight
 // replications. Output bytes are identical to an uninterrupted run.
+//
+// With -distributed the sweep's cacheable units are additionally published
+// as a filesystem work queue inside -storedir, and -workers local worker
+// processes (plus any mvworker processes attached to the same directory)
+// drain it before assembly; crashed workers are restarted and their stale
+// claims taken over, so the CSVs stay byte-identical to a serial run no
+// matter how many workers die.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/store"
+	"repro/internal/workq"
 )
 
 func main() {
@@ -58,9 +67,16 @@ func run() error {
 		resume   = flag.Bool("resume", false, "resume a killed sweep: replay the store directory's journal and skip finished units")
 		outDir   = flag.String("out", "results", "output directory for CSV files")
 		quiet    = flag.Bool("quiet", false, "suppress terminal charts")
+
+		distributed = flag.Bool("distributed", false, "drain the sweep through a filesystem work queue in -storedir before assembly")
+		workers     = flag.Int("workers", 4, "local worker processes to spawn and supervise (with -distributed)")
+		workerMode  = flag.Bool("workermode", false, "run as a supervised sweep worker (internal; spawned by -distributed)")
 	)
 	flag.Parse()
 
+	if *workerMode {
+		return runWorkerMode(*storeDir)
+	}
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be >= 1, got %d", *jobs)
 	}
@@ -69,6 +85,23 @@ func run() error {
 	}
 	if *nocache && *storeDir != "" {
 		return fmt.Errorf("-nocache and -storedir conflict: the persistent store is a cache tier")
+	}
+	if *distributed && *storeDir == "" {
+		return fmt.Errorf("-distributed needs -storedir: workers coordinate through a work queue inside the shared store directory")
+	}
+	if *distributed && *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 with -distributed, got %d (use mvworker in other terminals if you want zero local workers)", *workers)
+	}
+	if !*distributed {
+		var workersSet bool
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				workersSet = true
+			}
+		})
+		if workersSet {
+			return fmt.Errorf("-workers only applies with -distributed (did you mean -jobs %d for the in-process pool?)", *workers)
+		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
@@ -104,6 +137,18 @@ func run() error {
 		}
 	case !*nocache:
 		so.Cache = experiment.NewReplicationCache()
+	}
+	if *distributed {
+		spec := workq.Spec{Figure: *figureID, Reps: *reps, BaseSeed: *seed, Scale: *scale, Grid: *grid}
+		units, uncacheable := experiment.SweepUnits(figures, opts)
+		fmt.Printf("distributed: %d units across %d worker processes (%d uncacheable series computed locally)\n",
+			len(units), *workers, uncacheable)
+		prog, restarts, err := runDistributed(*storeDir, spec, units, *workers, *resume)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("distributed: %d acked, %d dead-lettered, %d retried, %d open, %d worker restarts\n",
+			prog.Acked, prog.Dead, prog.Retried, prog.Open, restarts)
 	}
 	sr, sweepErr := experiment.RunSweep(context.Background(), figures, opts, so)
 	if sr == nil {

@@ -38,6 +38,13 @@ type FaultFS struct {
 	// truncReadIn returns only the first half of the Nth ReadFile result,
 	// simulating a torn write observed after a crash.
 	truncReadIn int
+	// failOpenExclIn fires an I/O error (not fs.ErrExist) on the Nth
+	// OpenExcl — a claim or lease acquisition failing at the filesystem,
+	// not losing the race.
+	failOpenExclIn int
+	// failAppendIn fires an error on the Nth OpenAppend — journal,
+	// heartbeat, or failure-log appends refused by the filesystem.
+	failAppendIn int
 
 	// Writes, Renames, Reads count operations for test assertions.
 	Writes, Renames, Reads int
@@ -73,6 +80,14 @@ func (f *FaultFS) CorruptReadIn(n int) { f.arm(&f.corruptReadIn, n) }
 // returns only the first half of the file.
 func (f *FaultFS) TruncateReadIn(n int) { f.arm(&f.truncReadIn, n) }
 
+// FailOpenExclIn arms the exclusive-create failpoint: the nth OpenExcl
+// from now fails with an I/O error (not fs.ErrExist).
+func (f *FaultFS) FailOpenExclIn(n int) { f.arm(&f.failOpenExclIn, n) }
+
+// FailAppendIn arms the append-open failpoint: the nth OpenAppend from now
+// fails with an I/O error.
+func (f *FaultFS) FailAppendIn(n int) { f.arm(&f.failAppendIn, n) }
+
 func (f *FaultFS) arm(slot *int, n int) {
 	f.mu.Lock()
 	*slot = n
@@ -99,6 +114,12 @@ func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
 }
 
 func (f *FaultFS) OpenExcl(path string) (File, error) {
+	f.mu.Lock()
+	hit := fire(&f.failOpenExclIn)
+	f.mu.Unlock()
+	if hit {
+		return nil, openError{name: path}
+	}
 	inner, err := f.inner.OpenExcl(path)
 	if err != nil {
 		return nil, err
@@ -107,6 +128,12 @@ func (f *FaultFS) OpenExcl(path string) (File, error) {
 }
 
 func (f *FaultFS) OpenAppend(path string) (File, error) {
+	f.mu.Lock()
+	hit := fire(&f.failAppendIn)
+	f.mu.Unlock()
+	if hit {
+		return nil, openError{name: path}
+	}
 	inner, err := f.inner.OpenAppend(path)
 	if err != nil {
 		return nil, err
@@ -200,3 +227,8 @@ type syncError struct{ name string }
 
 func (e syncError) Error() string { return "injected fsync error on " + e.name }
 func (syncError) Unwrap() error   { return ErrInjected }
+
+type openError struct{ name string }
+
+func (e openError) Error() string { return "injected open error on " + e.name }
+func (openError) Unwrap() error   { return ErrInjected }

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -222,5 +224,114 @@ func TestJournalAppendWriteFault(t *testing.T) {
 	defer func() { _ = j2.Close() }()
 	if want := []Key{testKey("cfg", 4)}; !reflect.DeepEqual(done, want) {
 		t.Errorf("replay = %v, want only the record that succeeded", done)
+	}
+}
+
+// TestJournalConcurrentAppenders: several Journal handles on one path —
+// a coordinator and its workers sharing the sweep journal — append
+// concurrently. O_APPEND single-write line discipline means no record may
+// tear or interleave: replay must recover every key exactly once.
+func TestJournalConcurrentAppenders(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	const handles, perHandle = 4, 25
+	var wg sync.WaitGroup
+	for h := 0; h < handles; h++ {
+		j, _, err := OpenJournal(OS, path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h int, j *Journal) {
+			defer wg.Done()
+			defer func() { _ = j.Close() }()
+			ctx := context.Background()
+			for i := 0; i < perHandle; i++ {
+				if err := j.Append(ctx, testKey(fmt.Sprintf("h%d", h), uint64(i))); err != nil {
+					t.Errorf("handle %d append %d: %v", h, i, err)
+					return
+				}
+			}
+		}(h, j)
+	}
+	wg.Wait()
+
+	_, done, err := OpenJournal(OS, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != handles*perHandle {
+		t.Fatalf("replayed %d records, want %d", len(done), handles*perHandle)
+	}
+	seen := make(map[Key]int)
+	for _, k := range done {
+		seen[k]++
+	}
+	for h := 0; h < handles; h++ {
+		for i := 0; i < perHandle; i++ {
+			k := testKey(fmt.Sprintf("h%d", h), uint64(i))
+			if seen[k] != 1 {
+				t.Errorf("key h%d/%d replayed %d times, want 1", h, i, seen[k])
+			}
+		}
+	}
+}
+
+// TestJournalConcurrentAppendersWithTornTail combines both failure modes:
+// after a concurrent append burst, the file gains a torn final record (the
+// crash case). Replay must still recover every complete record and stop
+// cleanly at the tear.
+func TestJournalConcurrentAppendersWithTornTail(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	const handles, perHandle = 3, 10
+	var wg sync.WaitGroup
+	for h := 0; h < handles; h++ {
+		j, _, err := OpenJournal(OS, path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h int, j *Journal) {
+			defer wg.Done()
+			defer func() { _ = j.Close() }()
+			for i := 0; i < perHandle; i++ {
+				if err := j.Append(context.Background(), testKey(fmt.Sprintf("t%d", h), uint64(i))); err != nil {
+					t.Errorf("handle %d: %v", h, err)
+					return
+				}
+			}
+		}(h, j)
+	}
+	wg.Wait()
+
+	// Simulate the crash: a final record written without its trailing
+	// newline (the largest tear a single-write append can leave).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"fp":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, done, err := OpenJournal(OS, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != handles*perHandle {
+		t.Fatalf("replayed %d records, want %d (torn tail must cost only itself)", len(done), handles*perHandle)
+	}
+	seen := make(map[Key]bool)
+	for _, k := range done {
+		if seen[k] {
+			t.Errorf("key %v duplicated in replay", k)
+		}
+		seen[k] = true
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -116,6 +117,12 @@ type DiskOptions struct {
 	// Alive probes whether the process that wrote a lease still runs;
 	// nil means a signal-0 probe of the pid. Tests inject a stub.
 	Alive func(pid int) bool
+	// Hostname names this host inside lease files. A pid probe is only
+	// meaningful against a lease written on the same host; leases from
+	// other hosts (multi-worker sweeps over a shared filesystem) are
+	// broken by TTL expiry alone. Empty means os.Hostname, and an
+	// unknown hostname degrades every probe to the TTL backstop.
+	Hostname string
 }
 
 // DiskStore is the production Store: one file per entry under dir,
@@ -138,6 +145,7 @@ type DiskStore struct {
 	leaseTTL  time.Duration
 	leasePoll time.Duration
 	alive     func(pid int) bool
+	hostname  string
 
 	diskHits    atomic.Uint64
 	misses      atomic.Uint64
@@ -181,6 +189,12 @@ func Open(dir string, opts DiskOptions) (*DiskStore, error) {
 	}
 	if s.alive == nil {
 		s.alive = processAlive
+	}
+	s.hostname = opts.Hostname
+	if s.hostname == "" {
+		// A failed lookup leaves the hostname unknown; stale leases are
+		// then broken by TTL alone, which stays correct, just slower.
+		s.hostname, _ = os.Hostname()
 	}
 	for _, sub := range []string{"objects", "corrupt", "leases"} {
 		if err := s.fsys.MkdirAll(filepath.Join(dir, sub)); err != nil {
@@ -367,9 +381,9 @@ func (s *DiskStore) tryLease(k Key) (bool, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		f, err := s.fsys.OpenExcl(path)
 		if err == nil {
-			// Content is advisory (owner pid for the liveness probe);
-			// lease correctness rests on O_EXCL creation alone.
-			_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+			// Content is advisory (owner pid + host for the liveness
+			// probe); lease correctness rests on O_EXCL creation alone.
+			_, _ = fmt.Fprintf(f, "%d %s\n", os.Getpid(), s.hostname)
 			_ = f.Sync()
 			if err := f.Close(); err != nil {
 				_ = s.fsys.Remove(path)
@@ -393,9 +407,16 @@ func (s *DiskStore) tryLease(k Key) (bool, error) {
 	return false, nil
 }
 
-// leaseDead reports whether the lease at path can be broken: its owner
-// pid no longer runs, or the file is older than the TTL. A vanished file
-// counts as dead (the owner released it).
+// leaseDead reports whether the lease at path can be broken: its file has
+// outlived the TTL (authoritative on its own), or its owner pid provably
+// no longer runs. A vanished file counts as dead (the owner released it).
+//
+// The pid probe is a same-host fast path only: a lease written by a worker
+// on another host names a pid that is meaningless here — probing it would
+// either find an unrelated local process (lease never breaks) or nothing
+// (live lease broken instantly, duplicating work and racing the owner's
+// publish). When the lease's host is absent, unparseable, or differs from
+// ours, TTL expiry is the only authority.
 func (s *DiskStore) leaseDead(path string) bool {
 	info, err := s.fsys.Stat(path)
 	if err != nil {
@@ -408,10 +429,17 @@ func (s *DiskStore) leaseDead(path string) bool {
 	if err != nil {
 		return true
 	}
-	pid, err := strconv.Atoi(string(trimNewline(data)))
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		// Torn lease write: only the TTL can break it.
+		return false
+	}
+	pid, err := strconv.Atoi(fields[0])
 	if err != nil || pid <= 0 {
-		// Unparseable owner (e.g. a torn lease write): only the TTL can
-		// break it.
+		return false
+	}
+	if len(fields) < 2 || s.hostname == "" || fields[1] != s.hostname {
+		// Unknown or foreign host: the pid is not ours to probe.
 		return false
 	}
 	return !s.alive(pid)
@@ -421,13 +449,6 @@ func (s *DiskStore) leaseDead(path string) bool {
 // is eventually broken by TTL.
 func (s *DiskStore) releaseLease(k Key) {
 	_ = s.fsys.Remove(s.leasePath(k))
-}
-
-func trimNewline(b []byte) []byte {
-	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
-		b = b[:len(b)-1]
-	}
-	return b
 }
 
 // processAlive probes pid with signal 0, the conventional same-host

@@ -1,0 +1,235 @@
+package workq
+
+// Fault-injection tests: every failpoint store.FaultFS can fire on queue
+// I/O — failed claim creates, refused appends, failed ack renames, torn
+// and corrupted manifest reads — must degrade to recomputation or a
+// skipped pass, never to a wrong, duplicated, or lost unit. Each test
+// drives one fault and then asserts the queue converges to the same
+// terminal state a fault-free run reaches.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// faultQueue builds a queue whose I/O runs through a FaultFS, plus the
+// handle to arm failpoints on.
+func faultQueue(t *testing.T, dir string) (*Queue, *store.FaultFS) {
+	t.Helper()
+	ffs := store.NewFaultFS(store.OS)
+	q, err := OpenQueue(dir, QueueOptions{FS: ffs, WorkerID: "faulty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, ffs
+}
+
+// fastOpts keeps retry/poll delays out of the test's wall clock.
+func fastOpts() WorkerOptions {
+	return WorkerOptions{Poll: time.Millisecond, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond}
+}
+
+// TestAckRenameFaultDegradesToRetry: the ack's atomic rename fails; the
+// unit is retried (the rerun is idempotent) and ends acked exactly once,
+// with the retry visible in the ack record.
+func TestAckRenameFaultDegradesToRetry(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(1)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := q.LoadManifest()
+
+	var mu sync.Mutex
+	runs := 0
+	ffs.FailRenameIn(1)
+	st, err := RunWorker(context.Background(), q, m, func(ctx context.Context, u Unit) error {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return nil
+	}, fastOpts())
+	if err != nil {
+		t.Fatalf("run worker: %v", err)
+	}
+	if !q.Acked(units[0]) {
+		t.Fatal("unit not acked after ack-rename fault")
+	}
+	if q.Dead(units[0]) {
+		t.Fatal("unit dead-lettered by a transient ack fault")
+	}
+	if runs != 2 {
+		t.Errorf("unit executed %d times, want 2 (original + post-fault retry)", runs)
+	}
+	if st.Completed != 1 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want 1 completed, 1 retried", st)
+	}
+	p := q.Census(units)
+	if p.Acked != 1 || p.Retried != 1 {
+		t.Errorf("census = %+v, want the retry recorded in the ack", p)
+	}
+}
+
+// TestClaimOpenFaultSkipsThenRecovers: an I/O error acquiring a claim (not
+// an existence race) skips the unit for that pass; the next pass claims and
+// completes it.
+func TestClaimOpenFaultSkipsThenRecovers(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(2)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := q.LoadManifest()
+
+	ffs.FailOpenExclIn(1)
+	st, err := RunWorker(context.Background(), q, m, func(ctx context.Context, u Unit) error {
+		return nil
+	}, fastOpts())
+	if err != nil {
+		t.Fatalf("run worker: %v", err)
+	}
+	if st.Completed != 2 {
+		t.Errorf("completed = %d, want 2", st.Completed)
+	}
+	if st.QueueErrors != 1 {
+		t.Errorf("queue errors = %d, want 1 (the injected claim failure)", st.QueueErrors)
+	}
+	for _, u := range units {
+		if !q.Acked(u) {
+			t.Errorf("unit %s not acked after claim fault", u.ID())
+		}
+	}
+}
+
+// TestFailureLogAppendFaultKeepsUnitOpen: when even recording a failure
+// fails, the unit stays open — with its claim released — and a later pass
+// completes it. A broken failure log never loses a unit.
+func TestFailureLogAppendFaultKeepsUnitOpen(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(1)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := q.LoadManifest()
+
+	var mu sync.Mutex
+	runs := 0
+	ffs.FailAppendIn(1)
+	st, err := RunWorker(context.Background(), q, m, func(ctx context.Context, u Unit) error {
+		mu.Lock()
+		defer mu.Unlock()
+		runs++
+		if runs == 1 {
+			return errors.New("transient compute failure")
+		}
+		return nil
+	}, fastOpts())
+	if err != nil {
+		t.Fatalf("run worker: %v", err)
+	}
+	if !q.Acked(units[0]) || q.Dead(units[0]) {
+		t.Fatal("unit lost after failure-log append fault")
+	}
+	if runs != 2 {
+		t.Errorf("unit executed %d times, want 2", runs)
+	}
+	if st.QueueErrors != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 queue error and 1 completed", st)
+	}
+}
+
+// TestManifestTornReadDegradesToIncomplete: a torn read of a good manifest
+// yields an incomplete (never wrong) parse; the next read recovers fully.
+func TestManifestTornReadDegradesToIncomplete(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(6)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.TruncateReadIn(1)
+	m, err := q.LoadManifest()
+	if err != nil {
+		t.Fatalf("torn read surfaced an error: %v", err)
+	}
+	if m.Complete {
+		t.Fatal("torn manifest read reported Complete")
+	}
+	for i, u := range m.Units {
+		if u != units[i] {
+			t.Fatalf("torn read produced wrong unit %d: %+v", i, u)
+		}
+	}
+
+	m, err = q.LoadManifest()
+	if err != nil || !m.Complete || len(m.Units) != len(units) {
+		t.Fatalf("clean re-read: complete=%v units=%d err=%v", m.Complete, len(m.Units), err)
+	}
+}
+
+// TestManifestCorruptReadDegradesToIncomplete: a bit-flip mid-manifest
+// fails that line's CRC; the parse stops at the last good record.
+func TestManifestCorruptReadDegradesToIncomplete(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(6)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.CorruptReadIn(1)
+	m, err := q.LoadManifest()
+	if err != nil {
+		t.Fatalf("corrupt read surfaced an error: %v", err)
+	}
+	if m.Complete {
+		t.Fatal("corrupted manifest read reported Complete")
+	}
+	for i, u := range m.Units {
+		if u != units[i] {
+			t.Fatalf("corrupt read produced wrong unit %d: %+v", i, u)
+		}
+	}
+}
+
+// TestWorkerWaitsOutTornManifest: a worker that reads the manifest while
+// torn keeps waiting and starts once a complete one is in place — the
+// coordinator-crashed-mid-write scenario, end to end.
+func TestWorkerWaitsOutTornManifest(t *testing.T) {
+	t.Parallel()
+
+	q, ffs := faultQueue(t, t.TempDir())
+	units := testUnits(3)
+	if err := q.WriteManifest(testSpec(), units); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.TruncateReadIn(1) // first load sees the torn tail
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := WaitManifest(ctx, q, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait manifest: %v", err)
+	}
+	if !m.Complete || len(m.Units) != len(units) {
+		t.Fatalf("manifest after recovery: complete=%v units=%d", m.Complete, len(m.Units))
+	}
+	st, err := RunWorker(ctx, q, m, func(ctx context.Context, u Unit) error { return nil }, fastOpts())
+	if err != nil || st.Completed != uint64(len(units)) {
+		t.Fatalf("drain after torn-manifest wait: stats=%+v err=%v", st, err)
+	}
+}

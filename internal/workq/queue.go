@@ -1,0 +1,399 @@
+package workq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/store"
+)
+
+// Queue is one worker's (or the coordinator's) handle on a work-queue
+// directory. The on-disk protocol under dir:
+//
+//	manifest.jsonl        append-only sweep manifest (workq.go)
+//	claims/<unit>.claim   O_CREATE|O_EXCL lease; mtime renewed by heartbeat
+//	acks/<unit>.ack       atomic-rename commit of a completed unit
+//	failed/<unit>         append-only attempt log, one line per failure
+//	dead/<unit>           dead-letter: the failure log, renamed after the
+//	                      attempt budget is exhausted
+//
+// Each transition commits with exactly one atomic filesystem operation:
+// claim by exclusive create, ack and dead-letter by rename. A SIGKILL at
+// any instant therefore leaves every unit in exactly one of the states
+// open, claimed (stale-able), acked, or dead — never in two, never in a
+// torn intermediate.
+type Queue struct {
+	dir      string
+	fsys     store.FS
+	now      clock.Clock
+	ttl      time.Duration
+	alive    func(pid int) bool
+	hostname string
+	worker   string
+	pid      int
+}
+
+// QueueOptions configures Open.
+type QueueOptions struct {
+	// FS is the filesystem; nil means the real one. Tests inject a
+	// *store.FaultFS here, extending the store's failpoints to queue I/O.
+	FS store.FS
+	// Clock reads wall time for claim staleness; nil means system.
+	Clock clock.Clock
+	// TTL is how old a claim's mtime may grow before any worker may break
+	// it regardless of owner (default 30s). Heartbeats renew the mtime, so
+	// the TTL only fires for workers that stopped heartbeating. On the
+	// same host a dead owner is detected by pid probe immediately.
+	TTL time.Duration
+	// Alive probes a pid's liveness; nil means a signal-0 probe.
+	Alive func(pid int) bool
+	// Hostname names this host in claims; pid probes are only trusted
+	// against claims from the same hostname. Empty means os.Hostname.
+	Hostname string
+	// WorkerID names this worker in claims and acks, for humans reading a
+	// crashed sweep's directory. Empty means "pid-<pid>".
+	WorkerID string
+}
+
+// OpenQueue prepares a queue handle rooted at dir, creating the directory
+// tree as needed.
+func OpenQueue(dir string, o QueueOptions) (*Queue, error) {
+	if dir == "" {
+		return nil, errors.New("workq: empty queue directory")
+	}
+	q := &Queue{
+		dir:      dir,
+		fsys:     o.FS,
+		now:      o.Clock,
+		ttl:      o.TTL,
+		alive:    o.Alive,
+		hostname: o.Hostname,
+		worker:   o.WorkerID,
+		pid:      os.Getpid(),
+	}
+	if q.fsys == nil {
+		q.fsys = store.OS
+	}
+	if q.now == nil {
+		q.now = clock.System
+	}
+	if q.ttl <= 0 {
+		q.ttl = 30 * time.Second
+	}
+	if q.alive == nil {
+		q.alive = processAlive
+	}
+	if q.hostname == "" {
+		// A failed lookup leaves the hostname unknown; claims then fall
+		// back to the TTL alone, which stays correct, just slower.
+		q.hostname, _ = os.Hostname()
+	}
+	if q.worker == "" {
+		q.worker = "pid-" + strconv.Itoa(q.pid)
+	}
+	for _, sub := range []string{"claims", "acks", "failed", "dead"} {
+		if err := q.fsys.MkdirAll(filepath.Join(dir, sub)); err != nil {
+			return nil, fmt.Errorf("workq: init %s: %w", dir, err)
+		}
+	}
+	return q, nil
+}
+
+// Dir returns the queue's root directory.
+func (q *Queue) Dir() string { return q.dir }
+
+// WorkerID returns the identity this handle writes into claims and acks.
+func (q *Queue) WorkerID() string { return q.worker }
+
+// ManifestPath returns the manifest's conventional location.
+func (q *Queue) ManifestPath() string { return filepath.Join(q.dir, "manifest.jsonl") }
+
+// LoadManifest reads this queue's manifest (see LoadManifest).
+func (q *Queue) LoadManifest() (*Manifest, error) {
+	return LoadManifest(q.fsys, q.ManifestPath())
+}
+
+// WriteManifest (re)writes this queue's manifest (see WriteManifest).
+func (q *Queue) WriteManifest(spec Spec, units []Unit) error {
+	return WriteManifest(q.fsys, q.ManifestPath(), spec, units)
+}
+
+func (q *Queue) claimPath(u Unit) string {
+	return filepath.Join(q.dir, "claims", u.ID()+".claim")
+}
+
+func (q *Queue) ackPath(u Unit) string {
+	return filepath.Join(q.dir, "acks", u.ID()+".ack")
+}
+
+func (q *Queue) failedPath(u Unit) string {
+	return filepath.Join(q.dir, "failed", u.ID())
+}
+
+func (q *Queue) deadPath(u Unit) string {
+	return filepath.Join(q.dir, "dead", u.ID())
+}
+
+// TryClaim attempts to claim u exclusively. It breaks an existing claim
+// whose owner is provably dead (same-host pid probe) or whose mtime has
+// outlived the TTL — a worker that stopped heartbeating — then retries the
+// exclusive create once. ok=false without error means another live worker
+// holds the unit.
+func (q *Queue) TryClaim(u Unit) (bool, error) {
+	path := q.claimPath(u)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := q.fsys.OpenExcl(path)
+		if err == nil {
+			// Content is advisory (owner identity for the liveness probe
+			// and for humans); claim correctness rests on O_EXCL alone.
+			_, _ = fmt.Fprintf(f, "%d %s %s\n", q.pid, q.hostname, q.worker)
+			_ = f.Sync()
+			if err := f.Close(); err != nil {
+				_ = q.fsys.Remove(path)
+				return false, fmt.Errorf("workq: write claim %s: %w", path, err)
+			}
+			return true, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return false, fmt.Errorf("workq: acquire claim %s: %w", path, err)
+		}
+		if !q.claimStale(path) {
+			return false, nil
+		}
+		// Stale: break it and retry. Concurrent breakers may both Remove;
+		// exactly one OpenExcl then wins.
+		if err := q.fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return false, fmt.Errorf("workq: break stale claim %s: %w", path, err)
+		}
+	}
+	return false, nil
+}
+
+// claimStale reports whether the claim at path can be broken. TTL expiry
+// of the heartbeat-renewed mtime is authoritative on its own; the pid
+// probe is a same-host fast path only — a claim written on another host
+// names a pid that means nothing here, so it waits out the TTL.
+func (q *Queue) claimStale(path string) bool {
+	info, err := q.fsys.Stat(path)
+	if err != nil {
+		return true // vanished: the owner released it
+	}
+	if q.now().Sub(info.ModTime()) > q.ttl {
+		return true
+	}
+	data, err := q.fsys.ReadFile(path)
+	if err != nil {
+		return true
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		// Torn claim write: only the TTL can break it.
+		return false
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil || pid <= 0 {
+		return false
+	}
+	if q.hostname == "" || fields[1] != q.hostname {
+		// Foreign or unknown host: the pid probe is meaningless, only the
+		// TTL is trusted.
+		return false
+	}
+	return !q.alive(pid)
+}
+
+// Heartbeat renews this worker's claim on u by appending to the claim
+// file, refreshing its mtime so the TTL keeps counting from now. The
+// appended bytes are inert; only the mtime matters.
+func (q *Queue) Heartbeat(u Unit) error {
+	f, err := q.fsys.OpenAppend(q.claimPath(u))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hb\n")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Release removes u's claim, best effort: an unremovable claim is
+// eventually broken by pid probe or TTL.
+func (q *Queue) Release(u Unit) {
+	_ = q.fsys.Remove(q.claimPath(u))
+}
+
+// ackRecord is the JSON body of an ack file.
+type ackRecord struct {
+	Unit     string `json:"unit"`
+	Worker   string `json:"worker"`
+	Attempts int    `json:"attempts"`
+}
+
+// Ack acknowledges u as complete: the result is durable in the store and
+// the unit leaves the open set. The ack commits via atomic rename, so a
+// crash mid-ack leaves the unit claimable — one redundant store read,
+// never a lost unit. attempts records how many executions the unit took.
+func (q *Queue) Ack(ctx context.Context, u Unit, attempts int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(ackRecord{Unit: u.ID(), Worker: q.worker, Attempts: attempts})
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(q.fsys, q.ackPath(u), append(data, '\n'))
+}
+
+// Acked reports whether u has been acknowledged by any worker.
+func (q *Queue) Acked(u Unit) bool {
+	_, err := q.fsys.Stat(q.ackPath(u))
+	return err == nil
+}
+
+// Dead reports whether u has been dead-lettered.
+func (q *Queue) Dead(u Unit) bool {
+	_, err := q.fsys.Stat(q.deadPath(u))
+	return err == nil
+}
+
+// RecordFailure appends one attempt line to u's failure log. The log's
+// line count is the unit's global attempt tally, shared by every worker,
+// so the dead-letter budget holds across worker crashes and restarts.
+func (q *Queue) RecordFailure(u Unit, cause error) error {
+	f, err := q.fsys.OpenAppend(q.failedPath(u))
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%s %s: %s\n", q.worker, u.ID(), oneLine(cause))
+	if _, err := f.Write([]byte(line)); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Attempts returns u's recorded failure count.
+func (q *Queue) Attempts(u Unit) int {
+	data, err := q.fsys.ReadFile(q.failedPath(u))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// DeadLetter retires u after its attempt budget is spent: the failure log
+// renames atomically into dead/, which both marks the unit terminal and
+// preserves every attempt's error for inspection. The coordinator
+// recomputes dead units locally at assembly, so a dead letter degrades
+// the sweep's parallelism, never its output.
+func (q *Queue) DeadLetter(u Unit, cause error) error {
+	src := q.failedPath(u)
+	if _, err := q.fsys.Stat(src); err != nil {
+		// No failure log (e.g. its writes failed too): synthesize the
+		// terminal record directly, still atomically.
+		line := fmt.Sprintf("%s %s: %s\n", q.worker, u.ID(), oneLine(cause))
+		return store.WriteFileAtomic(q.fsys, q.deadPath(u), []byte(line))
+	}
+	if err := q.fsys.Rename(src, q.deadPath(u)); err != nil {
+		return fmt.Errorf("workq: dead-letter %s: %w", u.ID(), err)
+	}
+	return nil
+}
+
+// Progress is a point-in-time census of a unit list.
+type Progress struct {
+	// Acked and Dead count terminal units; Open is the remainder.
+	Acked, Dead, Open int
+	// Retried counts acked units that took more than one execution,
+	// read back from the ack records.
+	Retried int
+}
+
+// Census scans the queue state of every unit. Acked wins over Dead when
+// both exist (a unit that dead-lettered on one worker and later succeeded
+// on another is complete, and its result is in the store).
+func (q *Queue) Census(units []Unit) Progress {
+	var p Progress
+	for _, u := range units {
+		switch {
+		case q.Acked(u):
+			p.Acked++
+			if data, err := q.fsys.ReadFile(q.ackPath(u)); err == nil {
+				var rec ackRecord
+				if json.Unmarshal(trimNL(data), &rec) == nil && rec.Attempts > 1 {
+					p.Retried++
+				}
+			}
+		case q.Dead(u):
+			p.Dead++
+		default:
+			p.Open++
+		}
+	}
+	return p
+}
+
+// Reset discards all queue state — manifest, claims, acks, failure logs,
+// dead letters — for a fresh (non-resumed) sweep. Store objects are not
+// touched: content-addressed results are sound regardless of which sweep
+// produced them.
+func (q *Queue) Reset() error {
+	if err := q.fsys.Remove(q.ManifestPath()); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("workq: reset manifest: %w", err)
+	}
+	for _, sub := range []string{"claims", "acks", "failed", "dead"} {
+		dir := filepath.Join(q.dir, sub)
+		if err := os.RemoveAll(dir); err != nil {
+			return fmt.Errorf("workq: reset %s: %w", dir, err)
+		}
+		if err := q.fsys.MkdirAll(dir); err != nil {
+			return fmt.Errorf("workq: reset %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+func oneLine(err error) string {
+	if err == nil {
+		return "unknown failure"
+	}
+	return strings.ReplaceAll(err.Error(), "\n", " ")
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// processAlive probes pid with signal 0, the conventional same-host
+// liveness check.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	return p.Signal(syscall.Signal(0)) == nil
+}

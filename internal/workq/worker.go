@@ -1,0 +1,271 @@
+package workq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+)
+
+// RunFunc executes one unit: compute the replication and publish its
+// result durably (store put + journal append). It must be idempotent —
+// two workers racing on a takeover may both run the same unit — which
+// holds by construction here because results are pure functions of
+// (fingerprint, seed) and publication is an atomic rename of identical
+// bytes. A nil return means the result is durable and the unit may be
+// acknowledged.
+type RunFunc func(ctx context.Context, u Unit) error
+
+// WorkerOptions tunes the pull-execute-publish loop.
+type WorkerOptions struct {
+	// Poll is the rescan delay when every open unit is claimed by other
+	// workers (default 200ms).
+	Poll time.Duration
+	// Heartbeat is the claim-renewal interval while a unit runs (default
+	// a third of the queue's TTL as configured at OpenQueue, falling back
+	// to 10s).
+	Heartbeat time.Duration
+	// MaxAttempts is the global per-unit attempt budget before
+	// dead-lettering, shared across workers via the failure log
+	// (default 3).
+	MaxAttempts int
+	// Backoff is the first retry delay; it doubles per attempt up to
+	// BackoffMax (defaults 250ms and 5s).
+	Backoff, BackoffMax time.Duration
+	// Drain, when non-nil and closed, asks the worker to finish its
+	// current unit and return instead of claiming another — the graceful
+	// SIGTERM path.
+	Drain <-chan struct{}
+}
+
+func (o WorkerOptions) withDefaults(ttl time.Duration) WorkerOptions {
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		if ttl > 0 {
+			o.Heartbeat = ttl / 3
+		} else {
+			o.Heartbeat = 10 * time.Second
+		}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	return o
+}
+
+// WorkerStats counts one worker's contribution to a sweep.
+type WorkerStats struct {
+	// Completed counts units this worker executed and acknowledged.
+	Completed uint64
+	// Retried counts failed executions that were retried (here or,
+	// via the failure log, by a later claimer).
+	Retried uint64
+	// DeadLettered counts units this worker retired after the attempt
+	// budget.
+	DeadLettered uint64
+	// ClaimConflicts counts claims lost to other live workers.
+	ClaimConflicts uint64
+	// QueueErrors counts queue I/O failures that were skipped past (the
+	// unit stays open for a later pass or another worker).
+	QueueErrors uint64
+}
+
+// WaitManifest polls until the queue's manifest exists and is complete, or
+// ctx expires. Workers must not start on an incomplete manifest: its tail
+// units are missing and the coordinator is about to rewrite it.
+func WaitManifest(ctx context.Context, q *Queue, poll time.Duration) (*Manifest, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		m, err := LoadManifest(q.fsys, q.ManifestPath())
+		switch {
+		case err == nil && m.Complete:
+			return m, nil
+		case err != nil && !errors.Is(err, fs.ErrNotExist):
+			return nil, fmt.Errorf("workq: read manifest: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			if err != nil {
+				return nil, fmt.Errorf("workq: no manifest at %s: %w", q.ManifestPath(), ctx.Err())
+			}
+			return nil, fmt.Errorf("workq: manifest at %s incomplete (%d units, no footer): %w",
+				q.ManifestPath(), len(m.Units), ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
+// RunWorker drains the manifest: repeatedly scan for open units, claim one,
+// execute it with bounded retries and exponential backoff, publish, and
+// acknowledge. It returns when every unit is terminal (acked or dead), when
+// ctx is cancelled, or — after finishing the unit in hand — when Drain
+// closes. A SIGKILL at any instant loses at most the in-flight unit, which
+// the next claimer recomputes.
+func RunWorker(ctx context.Context, q *Queue, m *Manifest, run RunFunc, o WorkerOptions) (WorkerStats, error) {
+	o = o.withDefaults(q.ttl)
+	var st WorkerStats
+	if !m.Complete {
+		return st, errors.New("workq: refusing to work an incomplete manifest")
+	}
+	for {
+		open, progress := 0, false
+		for _, u := range m.Units {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+			if drained(o.Drain) {
+				return st, nil
+			}
+			if q.Acked(u) || q.Dead(u) {
+				continue
+			}
+			open++
+			if q.Attempts(u) >= o.MaxAttempts {
+				// Budget already spent (possibly by other workers):
+				// retire the unit without another execution.
+				if err := q.DeadLetter(u, errors.New("attempt budget exhausted")); err != nil {
+					st.QueueErrors++
+					continue
+				}
+				st.DeadLettered++
+				progress = true
+				continue
+			}
+			ok, err := q.TryClaim(u)
+			if err != nil {
+				st.QueueErrors++
+				continue
+			}
+			if !ok {
+				st.ClaimConflicts++
+				continue
+			}
+			done, err := executeClaimed(ctx, q, u, run, o, &st)
+			if err != nil && ctx.Err() != nil {
+				return st, ctx.Err()
+			}
+			if done {
+				progress = true
+			}
+		}
+		if open == 0 {
+			return st, nil
+		}
+		if !progress {
+			// Everything open is claimed by other live workers (or just
+			// dead-lettered under us): wait for their claims to resolve.
+			select {
+			case <-ctx.Done():
+				return st, ctx.Err()
+			case <-drainChan(o.Drain):
+				return st, nil
+			case <-time.After(o.Poll):
+			}
+		}
+	}
+}
+
+// executeClaimed runs u under the claim this worker now holds, with
+// in-claim retries against the shared attempt budget. It always releases
+// the claim. done reports that the unit reached a terminal state (acked or
+// dead-lettered) under this claim.
+func executeClaimed(ctx context.Context, q *Queue, u Unit, run RunFunc, o WorkerOptions, st *WorkerStats) (done bool, err error) {
+	defer q.Release(u)
+
+	// Heartbeat until the unit settles, so the TTL only fires for workers
+	// that actually died.
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(o.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = q.Heartbeat(u)
+			}
+		}
+	}()
+	defer func() { close(stop); <-hbDone }()
+
+	for {
+		runErr := run(ctx, u)
+		if runErr == nil {
+			if ackErr := q.Ack(ctx, u, q.Attempts(u)+1); ackErr != nil {
+				// The result is durable; only the acknowledgement failed.
+				// Treat it like any failure: record, back off, retry — the
+				// next attempt's run is a cheap store read.
+				runErr = fmt.Errorf("ack: %w", ackErr)
+			} else {
+				st.Completed++
+				return true, nil
+			}
+		}
+		if ctx.Err() != nil {
+			// Cancelled mid-unit: release without burning an attempt.
+			return false, runErr
+		}
+		if rfErr := q.RecordFailure(u, runErr); rfErr != nil {
+			st.QueueErrors++
+			return false, rfErr
+		}
+		attempts := q.Attempts(u)
+		if attempts >= o.MaxAttempts {
+			if dlErr := q.DeadLetter(u, runErr); dlErr != nil {
+				st.QueueErrors++
+				return false, dlErr
+			}
+			st.DeadLettered++
+			return true, runErr
+		}
+		st.Retried++
+		delay := backoffDelay(o.Backoff, o.BackoffMax, attempts)
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// backoffDelay doubles the base per prior attempt, capped at max.
+func backoffDelay(base, max time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 1; i < attempts && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func drained(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainChan converts a possibly-nil drain channel into one selectable in a
+// blocking select (nil channels block forever, which is what we want).
+func drainChan(ch <-chan struct{}) <-chan struct{} { return ch }
