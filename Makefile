@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-baseline bench-check microbench check fmt fmt-check vet lint race
+.PHONY: build test bench bench-baseline bench-check microbench check fmt fmt-check vet lint lint-audit race
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,15 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Determinism & simulation-hygiene static analysis (see DESIGN.md §8).
+# Determinism & simulation-hygiene static analysis, including the
+# interprocedural hot-path/publication/goroutine rules (DESIGN.md §8, §13).
 lint:
 	$(GO) run ./cmd/mvlint ./...
+
+# Suppression hygiene: additionally flag //mvlint:allow comments whose
+# finding has since been fixed, and typo'd rule names. Run nightly in CI.
+lint-audit:
+	$(GO) run ./cmd/mvlint -staleallow ./...
 
 race:
 	$(GO) test -race ./...

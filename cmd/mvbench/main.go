@@ -37,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiment"
@@ -97,7 +98,28 @@ func suite() []spec {
 		{"figures/sweep-reduced", benchFiguresSweep},
 		{"figures/sweep-distributed", benchDistributedSweep},
 		{"store/codec-roundtrip", benchStoreCodec},
+		{"mvlint/self", benchMvlintSelf},
 	}
+}
+
+// benchMvlintSelf measures one full lint run over the module — parse,
+// type-check, call graph, and every rule — so analyzer speed is a pinned
+// artifact like simulator speed (a sweep gates every CI run). The headline
+// pins the repository's clean verdict: any nonzero finding count is a
+// correctness failure, not a performance number. Like mvlint itself, this
+// entry must run from inside the module.
+func benchMvlintSelf(b *testing.B) {
+	b.ReportAllocs()
+	findings := -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.NewLoader().LoadPatterns([]string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(analysis.Run(pkgs, nil, nil))
+	}
+	b.ReportMetric(float64(findings), "findings")
 }
 
 // benchScheduleFire measures kernel throughput on batches of 1,000 events

@@ -174,6 +174,7 @@ func TestSuitePinned(t *testing.T) {
 		"figures/sweep-reduced",
 		"figures/sweep-distributed",
 		"store/codec-roundtrip",
+		"mvlint/self",
 	}
 	got := suite()
 	if len(got) != len(want) {

@@ -8,6 +8,9 @@
 //	mvlint -json ./...                    # machine-readable findings
 //	mvlint -disable errcheck ./...        # rule selection
 //	mvlint -list                          # print the rule catalog
+//	mvlint -roots des.Simulation.step ./...   # override hot-path roots
+//	mvlint -why san.Execution.fire ./...  # explain hot-path reachability
+//	mvlint -staleallow ./...              # also report stale suppressions
 //
 // Findings are suppressed per line with
 //
@@ -34,21 +37,25 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		enable  = flag.String("enable", "", "comma-separated rules to run (default: all)")
-		disable = flag.String("disable", "", "comma-separated rules to skip")
-		list    = flag.Bool("list", false, "print the rule catalog and exit")
+		jsonOut    = flag.Bool("json", false, "emit findings as a JSON array")
+		enable     = flag.String("enable", "", "comma-separated rules to run (default: all)")
+		disable    = flag.String("disable", "", "comma-separated rules to skip")
+		list       = flag.Bool("list", false, "print the rule catalog and exit")
+		roots      = flag.String("roots", "", "comma-separated hot-path root specs (default: the built-in des/san/mms set)")
+		why        = flag.String("why", "", "explain how the named function is reachable from the hot-path roots, then exit")
+		staleAllow = flag.Bool("staleallow", false, "also report //mvlint:allow comments that no longer anchor a finding")
+		jobs       = flag.Int("jobs", 0, "per-package checking workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	checkers := analysis.DefaultCheckers()
+	rules := analysis.DefaultRules()
 	if *list {
-		for _, c := range checkers {
-			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+		for _, r := range rules {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
 		}
 		return 0
 	}
-	enabled, err := ruleSelection(checkers, *enable, *disable)
+	enabled, err := ruleSelection(rules, *enable, *disable)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvlint:", err)
 		return 2
@@ -62,7 +69,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "mvlint:", err)
 		return 2
 	}
-	diags := analysis.Run(pkgs, checkers, enabled)
+	var rootSpecs []string
+	if *roots != "" {
+		rootSpecs = splitRules(*roots)
+	}
+	if *why != "" {
+		return explainWhy(pkgs, rootSpecs, *why)
+	}
+	diags := analysis.RunOpts(pkgs, analysis.Options{
+		Rules:      rules,
+		Enabled:    enabled,
+		Roots:      rootSpecs,
+		StaleAllow: *staleAllow,
+		Jobs:       *jobs,
+	})
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -87,12 +107,29 @@ func run() int {
 	return 0
 }
 
+// explainWhy prints the call chain by which spec became hot-path
+// reachable, or says it is not reachable. Exit status mirrors the answer:
+// 0 reachable (chain printed), 1 not reachable.
+func explainWhy(pkgs []*analysis.Package, rootSpecs []string, spec string) int {
+	g := analysis.BuildCallGraph(pkgs)
+	r := g.Reach(rootSpecs)
+	chain := r.Why(spec)
+	if chain == nil {
+		fmt.Printf("%s: not reachable from the hot-path roots\n", spec)
+		return 1
+	}
+	for i, line := range chain {
+		fmt.Printf("%s%s\n", strings.Repeat("  ", i), line)
+	}
+	return 0
+}
+
 // ruleSelection resolves -enable/-disable into the enabled-rule set,
-// rejecting names that match no checker.
-func ruleSelection(checkers []analysis.Checker, enable, disable string) (map[string]bool, error) {
+// rejecting names that match no rule.
+func ruleSelection(rules []analysis.Rule, enable, disable string) (map[string]bool, error) {
 	known := map[string]bool{}
-	for _, c := range checkers {
-		known[c.Name()] = true
+	for _, r := range rules {
+		known[r.Name()] = true
 	}
 	enabled := map[string]bool{}
 	if enable == "" {

@@ -9,7 +9,7 @@ import (
 func TestRuleSelection(t *testing.T) {
 	t.Parallel()
 
-	checkers := analysis.DefaultCheckers()
+	checkers := analysis.DefaultRules()
 
 	all, err := ruleSelection(checkers, "", "")
 	if err != nil {

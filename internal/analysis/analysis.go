@@ -10,20 +10,32 @@
 // dependencies) and runs a suite of domain-specific checkers over the typed
 // syntax trees; cmd/mvlint is the command-line driver.
 //
+// Rules come in two kinds. A Checker sees one package at a time (the
+// original per-package suite: wallclock, maporder, errcheck, ...). A
+// ModuleChecker sees every loaded package at once through a ModulePass and
+// can consult the whole-module call graph (callgraph.go) — the hotpath rule
+// is the canonical example: "no heap allocation reachable from the event
+// loop" is a property of the call graph, not of any single package.
+//
 // Findings can be suppressed per line with
 //
 //	//mvlint:allow <rule>[,<rule>...] — <reason>
 //
 // either trailing the offending line or on the line immediately above it.
 // The reason is mandatory; a suppression without one is itself reported
-// (rule "suppress"). See DESIGN.md §8 for the rule catalog.
+// (rule "suppress"), and a suppression that no longer anchors any finding
+// is reported by the stale-suppression scan (rule "staleallow", enabled
+// with Options.StaleAllow / mvlint -staleallow). See DESIGN.md §8 and §13
+// for the rule catalog.
 package analysis
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a rule violation at a source position.
@@ -45,15 +57,29 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Checker is one analysis rule, run once per loaded package.
-type Checker interface {
+// Rule is the common surface of every analysis rule, per-package or
+// whole-module.
+type Rule interface {
 	// Name is the rule identifier used by -enable/-disable and
 	// //mvlint:allow.
 	Name() string
 	// Doc is a one-line description for `mvlint -list`.
 	Doc() string
+}
+
+// Checker is a per-package rule, run once per loaded package.
+type Checker interface {
+	Rule
 	// Check inspects one package and reports findings through the pass.
 	Check(p *Pass)
+}
+
+// ModuleChecker is a whole-module rule: it sees every loaded package at
+// once and may consult the shared call graph.
+type ModuleChecker interface {
+	Rule
+	// CheckModule inspects the whole loaded module.
+	CheckModule(p *ModulePass)
 }
 
 // Pass hands one package to one checker and collects its findings.
@@ -68,6 +94,42 @@ type Pass struct {
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Rule:    p.rule,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass hands the whole loaded module to one ModuleChecker.
+type ModulePass struct {
+	// Pkgs are all loaded packages, in load (path-sorted) order.
+	Pkgs []*Package
+	// Roots configures the hot-path root set (nil means
+	// DefaultHotPathRoots). The driver's -roots flag lands here.
+	Roots []string
+
+	rule   string
+	report func(Diagnostic)
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Graph returns the module call graph, built once and shared by every
+// module rule of the run.
+func (p *ModulePass) Graph() *CallGraph {
+	p.graphOnce.Do(func() { p.graph = BuildCallGraph(p.Pkgs) })
+	return p.graph
+}
+
+// Reportf records a finding at pos, resolved through fset (module rules
+// span packages, but every package of one run shares one Loader fset).
+func (p *ModulePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
 	p.report(Diagnostic{
 		Rule:    p.rule,
 		Pos:     position,
@@ -140,9 +202,10 @@ func IsSimConfigPackage(path string) bool {
 	return false
 }
 
-// DefaultCheckers returns the full rule suite in reporting order.
-func DefaultCheckers() []Checker {
-	return []Checker{
+// DefaultRules returns the full rule suite in reporting order: the
+// per-package checkers followed by the whole-module rules.
+func DefaultRules() []Rule {
+	return []Rule{
 		WallClock{},
 		Getenv{},
 		GlobalRand{},
@@ -150,34 +213,122 @@ func DefaultCheckers() []Checker {
 		MapOrder{},
 		FloatEq{},
 		ErrCheck{},
-		AtomicWrite{},
+		AtomicProto{},
+		GoroutineLeak{},
+		HotPath{},
 	}
 }
 
-// Run executes the enabled checkers over the loaded packages, applies
+// Options configures one analysis run.
+type Options struct {
+	// Rules is the rule suite (nil means DefaultRules).
+	Rules []Rule
+	// Enabled maps rule name to whether it runs; nil enables everything.
+	Enabled map[string]bool
+	// Roots overrides the hot-path root set (nil means
+	// DefaultHotPathRoots). //mvlint:hotpath annotations always add.
+	Roots []string
+	// StaleAllow additionally reports //mvlint:allow comments that no
+	// longer anchor a finding for an enabled rule (rule "staleallow").
+	StaleAllow bool
+	// Jobs bounds the per-package checking workers (<= 0 means
+	// GOMAXPROCS). Output is deterministic at any worker count.
+	Jobs int
+}
+
+// Run executes the enabled rules over the loaded packages, applies
 // //mvlint:allow suppressions, and returns the surviving diagnostics sorted
 // by position. enabled maps rule name to whether it runs; a nil map enables
 // everything.
-func Run(pkgs []*Package, checkers []Checker, enabled map[string]bool) []Diagnostic {
-	var diags []Diagnostic
+func Run(pkgs []*Package, rules []Rule, enabled map[string]bool) []Diagnostic {
+	return RunOpts(pkgs, Options{Rules: rules, Enabled: enabled})
+}
+
+// RunOpts is Run with full configuration.
+func RunOpts(pkgs []*Package, o Options) []Diagnostic {
+	rules := o.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	enabled := func(r Rule) bool { return o.Enabled == nil || o.Enabled[r.Name()] }
+
+	// Suppression comments are collected up front into one module-wide
+	// index (file names are unique across packages) so both per-package
+	// and module rules filter through the same gate.
+	sup := &suppressions{byFile: map[string][]suppression{}}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		diags = append(diags, sup.malformed...)
-		for _, c := range checkers {
-			if enabled != nil && !enabled[c.Name()] {
-				continue
-			}
-			pass := &Pass{
-				Pkg:  pkg,
-				rule: c.Name(),
-				report: func(d Diagnostic) {
-					if !sup.allows(d.Rule, d.Pos) {
-						diags = append(diags, d)
+		collectSuppressions(pkg, sup)
+	}
+
+	// raw accumulates findings before suppression filtering; the stale
+	// scan needs them to know which allow comments still earn their keep.
+	var mu sync.Mutex
+	var raw []Diagnostic
+
+	// Per-package checkers fan out across workers; each (package, rule)
+	// unit is independent and reports into the shared slice under the
+	// lock. Determinism comes from the final sort, not execution order.
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(pkgs) && len(pkgs) > 0 {
+		jobs = len(pkgs)
+	}
+	var wg sync.WaitGroup
+	work := make(chan *Package)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range work {
+				for _, r := range rules {
+					c, ok := r.(Checker)
+					if !ok || !enabled(r) {
+						continue
 					}
-				},
+					pass := &Pass{
+						Pkg:  pkg,
+						rule: r.Name(),
+						report: func(d Diagnostic) {
+							mu.Lock()
+							raw = append(raw, d)
+							mu.Unlock()
+						},
+					}
+					c.Check(pass)
+				}
 			}
-			c.Check(pass)
+		}()
+	}
+	for _, pkg := range pkgs {
+		work <- pkg
+	}
+	close(work)
+	wg.Wait()
+
+	// Module rules run once over everything, after the per-package fan-out
+	// (they share the call graph, whose construction needs all packages).
+	mp := &ModulePass{Pkgs: pkgs, Roots: o.Roots}
+	for _, r := range rules {
+		m, ok := r.(ModuleChecker)
+		if !ok || !enabled(r) {
+			continue
 		}
+		mp.rule = r.Name()
+		mp.report = func(d Diagnostic) { raw = append(raw, d) }
+		m.CheckModule(mp)
+	}
+
+	diags := append([]Diagnostic(nil), sup.malformed...)
+	for _, d := range raw {
+		if !sup.allows(d.Rule, d.Pos) {
+			diags = append(diags, d)
+		}
+	}
+	if o.StaleAllow {
+		enabledName := func(name string) bool { return o.Enabled == nil || o.Enabled[name] }
+		diags = append(diags, staleSuppressions(sup, raw, rules, enabledName)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -193,4 +344,64 @@ func Run(pkgs []*Package, checkers []Checker, enabled map[string]bool) []Diagnos
 		return a.Rule < b.Rule
 	})
 	return diags
+}
+
+// staleSuppressions reports every allow comment naming a rule that (a) is
+// not in the rule suite at all, or (b) is enabled yet anchors no finding on
+// the comment's line or the line below — suppression rot that would
+// otherwise silently outlive the code it excused.
+func staleSuppressions(sup *suppressions, raw []Diagnostic, rules []Rule, enabled func(string) bool) []Diagnostic {
+	known := map[string]bool{"suppress": true, "staleallow": true}
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+	// anchored indexes raw findings by (file, rule) -> line set.
+	type key struct {
+		file, rule string
+	}
+	anchored := map[key]map[int]bool{}
+	for _, d := range raw {
+		k := key{d.Pos.Filename, d.Rule}
+		if anchored[k] == nil {
+			anchored[k] = map[int]bool{}
+		}
+		anchored[k][d.Pos.Line] = true
+	}
+	var out []Diagnostic
+	for _, sups := range sup.byFile {
+		for _, s := range sups {
+			names := make([]string, 0, len(s.rules))
+			for r := range s.rules {
+				names = append(names, r)
+			}
+			sort.Strings(names)
+			for _, rule := range names {
+				if !known[rule] {
+					out = append(out, staleDiag(s, fmt.Sprintf("suppression names unknown rule %q", rule)))
+					continue
+				}
+				if !enabled(rule) {
+					continue // cannot judge a rule that did not run
+				}
+				lines := anchored[key{s.file, rule}]
+				if lines[s.line] || lines[s.line+1] {
+					continue
+				}
+				out = append(out, staleDiag(s, fmt.Sprintf("stale suppression: no %s finding anchors here anymore; delete the //mvlint:allow", rule)))
+			}
+		}
+	}
+	return out
+}
+
+// staleDiag builds one staleallow diagnostic at a suppression's position.
+func staleDiag(s suppression, msg string) Diagnostic {
+	return Diagnostic{
+		Rule:    "staleallow",
+		Pos:     token.Position{Filename: s.file, Line: s.line, Column: s.col},
+		File:    s.file,
+		Line:    s.line,
+		Col:     s.col,
+		Message: msg,
+	}
 }

@@ -35,7 +35,9 @@ var corpusCases = []struct{ dir, path string }{
 	{"rngstream", "testmod/internal/core"},
 	{"floateq", "testmod/internal/epidemic"},
 	{"errcheck", "testmod/internal/faults"},
-	{"atomicwrite", "testmod/cmd/mvtool"},
+	{"atomicproto", "testmod/cmd/mvtool"},
+	{"hotpath", "testmod/internal/des"},
+	{"goroutineleak", "testmod/internal/experiment"},
 	{"suppress", "testmod/internal/san"},
 	{"clean", "testmod/internal/virus"},
 }
@@ -55,7 +57,7 @@ func TestCheckersOnCorpus(t *testing.T) {
 				t.Fatal(err)
 			}
 			wants := parseWants(t, dir)
-			diags := Run([]*Package{pkg}, DefaultCheckers(), nil)
+			diags := Run([]*Package{pkg}, DefaultRules(), nil)
 			for _, d := range diags {
 				rendered := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
 				if !claim(wants, d.Pos.Filename, d.Pos.Line, rendered) {
@@ -164,6 +166,38 @@ func TestPackageScopes(t *testing.T) {
 	}
 }
 
+// TestStaleAllow pins the -staleallow audit over its dedicated corpus: a
+// suppression that still anchors a finding stays quiet, a stale one is
+// flagged for deletion, and one naming an unknown rule is flagged too.
+func TestStaleAllow(t *testing.T) {
+	t.Parallel()
+
+	loader := NewLoader()
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "staleallow"), "testmod/internal/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunOpts([]*Package{pkg}, Options{StaleAllow: true})
+	var stale, unknown int
+	for _, d := range diags {
+		if d.Rule != "staleallow" {
+			t.Errorf("unexpected non-audit diagnostic %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "stale suppression"):
+			stale++
+		case strings.Contains(d.Message, "unknown rule"):
+			unknown++
+		default:
+			t.Errorf("unexpected audit diagnostic %s", d)
+		}
+	}
+	if stale != 1 || unknown != 1 {
+		t.Errorf("staleallow audit reported %d stale + %d unknown suppressions, want 1 + 1", stale, unknown)
+	}
+}
+
 // TestRuleSelection pins per-rule enable/disable through Run.
 func TestRuleSelection(t *testing.T) {
 	t.Parallel()
@@ -173,11 +207,11 @@ func TestRuleSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	all := Run([]*Package{pkg}, DefaultCheckers(), nil)
+	all := Run([]*Package{pkg}, DefaultRules(), nil)
 	if len(all) == 0 {
 		t.Fatal("corpus produced no findings with all rules enabled")
 	}
-	none := Run([]*Package{pkg}, DefaultCheckers(), map[string]bool{"errcheck": true})
+	none := Run([]*Package{pkg}, DefaultRules(), map[string]bool{"errcheck": true})
 	if len(none) != 0 {
 		t.Fatalf("floateq corpus with only errcheck enabled: got %d findings, want 0", len(none))
 	}

@@ -1,0 +1,493 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicProto checks the crash-consistent publication protocol in tool
+// code (internal/ and cmd/), replacing the purely syntactic atomicwrite
+// ban with a small per-function automaton over the FS vocabulary
+// (internal/store/fs.go):
+//
+//	CreateTemp → Write* → Sync → Rename → SyncDir      (publication)
+//	OpenExcl → Write* → Sync                           (lease/claim)
+//
+// Three families of findings:
+//
+//  1. Syntactic bypasses: direct os.Create / os.WriteFile / os.Rename in
+//     tool packages outside internal/store — artifacts must go through
+//     store.WriteFileAtomic / store.CreateAtomic / an FS so crash
+//     consistency (and fault injection) cannot be skipped.
+//  2. Rename ordering, per intra-function path: a Rename must be followed
+//     by a SyncDir before the function's success exit (a crash after
+//     rename but before the directory sync can lose the publication), and
+//     a Rename that publishes a CreateTemp'd file must see a Sync first.
+//  3. Lease durability: a file opened with OpenExcl (O_CREATE|O_EXCL)
+//     must be Sync'd before the success exit, or the claim can vanish in
+//     a crash and two workers run the same unit.
+//
+// The automaton is flow-sensitive: if/else branches are analyzed
+// separately and joined (an obligation pending on any live branch stays
+// pending). Returns whose final result is a non-nil error expression are
+// error exits and waive pending obligations — crash consistency is a
+// property of the success path — unless the obligation arises inside that
+// very return statement (e.g. `return fsys.Rename(a, b)`). Delegation
+// wrappers — methods whose single return forwards to the same-named method
+// of a wrapped value, like osFS.Rename — are exempt. Events are
+// matched by method name and arity so FS decorators and test fakes are
+// checked identically; decorators that intentionally forward a bare
+// Rename (fault injection) carry a //mvlint:allow with their reason.
+type AtomicProto struct{}
+
+// Name implements Rule.
+func (AtomicProto) Name() string { return "atomicproto" }
+
+// Doc implements Rule.
+func (AtomicProto) Doc() string {
+	return "check temp→write→sync→rename→dirsync publication ordering and O_EXCL claim durability"
+}
+
+// Check implements Checker.
+func (AtomicProto) Check(p *Pass) {
+	if !IsToolPackage(p.Pkg.Path) {
+		return
+	}
+	inStore := strings.HasSuffix(p.Pkg.Path, "internal/store")
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !inStore {
+				banDirectOS(p, fd)
+			}
+			if isDelegationWrapper(fd) {
+				continue
+			}
+			a := &protoAnalyzer{pass: p, reported: map[reportKey]bool{}}
+			st := a.block(fd.Body.List, protoState{})
+			a.exit(st, nil)
+		}
+	}
+}
+
+// banDirectOS reports direct os.Create/os.WriteFile/os.Rename calls — the
+// syntactic part the old atomicwrite rule enforced, now with os.Rename
+// included (a rename outside an FS can never be paired with fault
+// injection or a checked SyncDir).
+func banDirectOS(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(info, call, "os", "Create", "WriteFile", "Rename") {
+			name := call.Fun.(*ast.SelectorExpr).Sel.Name
+			p.Reportf(call.Pos(), "direct os.%s: publish through store.WriteFileAtomic/store.CreateAtomic (or an FS) so a crash cannot leave a torn or lost file", name)
+		}
+		return true
+	})
+}
+
+// isDelegationWrapper reports whether the function is a method whose whole
+// body forwards to the same-named method of a wrapped value — the osFS /
+// decorator shape, whose caller owns the protocol obligations. A plain
+// function that happens to return a bare Rename is not a wrapper; it is
+// the bug.
+func isDelegationWrapper(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, _ := calleeName(call)
+	return name == fd.Name.Name
+}
+
+// obligation is one unsatisfied protocol duty on the current path.
+type obligation struct {
+	// pos is the site that created the duty (the Rename or OpenExcl).
+	pos token.Pos
+	// errVar, when non-empty, names the error variable the creating call
+	// assigned: the duty only exists on paths where that error is nil
+	// (the call succeeded), so err-conditioned branches prune it.
+	errVar string
+}
+
+// protoState is the automaton state along one intra-function path.
+type protoState struct {
+	// tempCreated / tempSynced track the publication protocol's write
+	// phase since the last CreateTemp.
+	tempCreated bool
+	tempSynced  bool
+	// pendingRenames are Rename sites not yet covered by a SyncDir.
+	pendingRenames []obligation
+	// pendingClaims are OpenExcl sites not yet covered by a Sync.
+	pendingClaims []obligation
+	// terminated marks a path that has returned.
+	terminated bool
+}
+
+func (s protoState) clone() protoState {
+	c := s
+	c.pendingRenames = append([]obligation(nil), s.pendingRenames...)
+	c.pendingClaims = append([]obligation(nil), s.pendingClaims...)
+	return c
+}
+
+// dropErr removes the obligations conditioned on the named error variable
+// — used on branches where that error is known non-nil (the call failed,
+// so the duty never arose).
+func (s *protoState) dropErr(name string) {
+	s.pendingRenames = withoutErr(s.pendingRenames, name)
+	s.pendingClaims = withoutErr(s.pendingClaims, name)
+}
+
+func withoutErr(list []obligation, name string) []obligation {
+	var out []obligation
+	for _, o := range list {
+		if o.errVar != name {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// join merges the states of two alternative paths: an obligation pending
+// on any live path stays pending; protocol progress (tempSynced) must hold
+// on both to be believed.
+func join(a, b protoState) protoState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := a.clone()
+	out.pendingRenames = mergeObligations(a.pendingRenames, b.pendingRenames)
+	out.pendingClaims = mergeObligations(a.pendingClaims, b.pendingClaims)
+	out.tempCreated = a.tempCreated || b.tempCreated
+	out.tempSynced = a.tempSynced && b.tempSynced
+	return out
+}
+
+func mergeObligations(a, b []obligation) []obligation {
+	seen := map[token.Pos]bool{}
+	var out []obligation
+	for _, o := range append(append([]obligation(nil), a...), b...) {
+		if !seen[o.pos] {
+			seen[o.pos] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// protoAnalyzer walks one function, tracking protoState along each path.
+type protoAnalyzer struct {
+	pass *Pass
+	// reported dedups findings per creating site and message: several paths
+	// can reach distinct exits carrying the same unmet obligation, but one
+	// site can legitimately earn two different findings (a rename that is
+	// both unsynced and never dirsynced).
+	reported map[reportKey]bool
+}
+
+// reportKey identifies one finding for deduplication.
+type reportKey struct {
+	pos token.Pos
+	msg string
+}
+
+// block analyzes a statement list, threading the state through it.
+func (a *protoAnalyzer) block(stmts []ast.Stmt, st protoState) protoState {
+	for _, s := range stmts {
+		if st.terminated {
+			break
+		}
+		st = a.stmt(s, st)
+	}
+	return st
+}
+
+// stmt analyzes one statement.
+func (a *protoAnalyzer) stmt(s ast.Stmt, st protoState) protoState {
+	switch v := s.(type) {
+	case *ast.IfStmt:
+		if v.Init != nil {
+			st = a.stmt(v.Init, st)
+		}
+		st = a.events(v.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		// err-conditioned branch: on the side where the creating call's
+		// error is known non-nil, the obligation never arose.
+		if name, eq := errNilCond(v.Cond); name != "" {
+			if eq {
+				elseSt.dropErr(name) // if err == nil { duty lives here }
+			} else {
+				thenSt.dropErr(name) // if err != nil { the call failed }
+			}
+		}
+		thenSt = a.block(v.Body.List, thenSt)
+		switch e := v.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt = a.block(e.List, elseSt)
+		case *ast.IfStmt:
+			elseSt = a.stmt(e, elseSt)
+		}
+		return join(thenSt, elseSt)
+	case *ast.AssignStmt:
+		beforeR, beforeC := len(st.pendingRenames), len(st.pendingClaims)
+		st = a.events(v, st)
+		// Tag obligations born from `x, err := Call(...)` with the error
+		// variable so err-conditioned branches can prune them.
+		if len(v.Rhs) == 1 && len(v.Lhs) > 0 {
+			if id, ok := v.Lhs[len(v.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+				if t := a.pass.Pkg.Info.TypeOf(id); t != nil && t.String() == "error" {
+					// events may also clear lists (a SyncDir in the same
+					// statement), so the "fresh tail" can be empty.
+					if beforeR < len(st.pendingRenames) {
+						tagErrVar(st.pendingRenames[beforeR:], id.Name)
+					}
+					if beforeC < len(st.pendingClaims) {
+						tagErrVar(st.pendingClaims[beforeC:], id.Name)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.BlockStmt:
+		return a.block(v.List, st)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			st = a.stmt(v.Init, st)
+		}
+		if v.Cond != nil {
+			st = a.events(v.Cond, st)
+		}
+		body := a.block(v.Body.List, st.clone())
+		return join(st, body) // zero or more iterations
+	case *ast.RangeStmt:
+		st = a.events(v.X, st)
+		body := a.block(v.Body.List, st.clone())
+		return join(st, body)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			st = a.stmt(v.Init, st)
+		}
+		if v.Tag != nil {
+			st = a.events(v.Tag, st)
+		}
+		merged := st // no case taken
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseSt := st.clone()
+			for _, e := range cc.List {
+				caseSt = a.events(e, caseSt)
+			}
+			merged = join(merged, a.block(cc.Body, caseSt))
+		}
+		return merged
+	case *ast.ReturnStmt:
+		before := len(st.pendingRenames) + len(st.pendingClaims)
+		for _, r := range v.Results {
+			st = a.events(r, st)
+		}
+		a.exit(st, exitInfo(v, a.pass, before, st))
+		st.terminated = true
+		return st
+	case *ast.DeferStmt:
+		// A deferred Sync/SyncDir runs before every exit: credit it now.
+		return a.events(v.Call, st)
+	case *ast.GoStmt:
+		return st // concurrent effects are out of scope here
+	default:
+		// Assignments, expression statements, declarations: straight-line
+		// code, scanned for events in source order.
+		return a.events(s, st)
+	}
+}
+
+// exitKind describes one return statement for obligation waiving.
+type exitKind struct {
+	// errorExit is true when the final result is a non-nil error
+	// expression (error path: obligations waived).
+	errorExit bool
+	// escapesHandle is true when a result other than bool/error is
+	// returned: the function hands an open file (or other resource) to
+	// its caller, which then owns the claim-sync obligation — the
+	// CreateAtomic / FaultFS.OpenExcl decorator shape.
+	escapesHandle bool
+	// createdHere counts obligations that arose inside the return itself
+	// (never waived: `return fsys.Rename(a,b)` is the bug, not an exit).
+	createdHere int
+}
+
+// exitInfo classifies a return statement.
+func exitInfo(ret *ast.ReturnStmt, p *Pass, pendingBefore int, st protoState) *exitKind {
+	k := &exitKind{}
+	k.createdHere = len(st.pendingRenames) + len(st.pendingClaims) - pendingBefore
+	info := p.Pkg.Info
+	for i, res := range ret.Results {
+		last := i == len(ret.Results)-1
+		e := ast.Unparen(res)
+		if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := info.TypeOf(e)
+		if t == nil {
+			continue
+		}
+		switch {
+		case t.String() == "error":
+			if last {
+				k.errorExit = true
+			}
+		case isBoolType(t):
+			// ok-style result, not a handle
+		default:
+			k.escapesHandle = true
+		}
+	}
+	return k
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+// tagErrVar stamps the error-variable name on freshly created obligations
+// (the tail slice the caller passes in).
+func tagErrVar(tail []obligation, name string) {
+	for i := range tail {
+		tail[i].errVar = name
+	}
+}
+
+// errNilCond recognizes `err == nil` / `err != nil` conditions and returns
+// the variable name and whether the comparison is ==.
+func errNilCond(cond ast.Expr) (name string, eq bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return "", false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	xi, xok := x.(*ast.Ident)
+	yi, yok := y.(*ast.Ident)
+	switch {
+	case xok && yok && yi.Name == "nil":
+		return xi.Name, b.Op == token.EQL
+	case xok && yok && xi.Name == "nil":
+		return yi.Name, b.Op == token.EQL
+	}
+	return "", false
+}
+
+// exit enforces pending obligations at a function exit. kind == nil means
+// falling off the end of the body (success path).
+func (a *protoAnalyzer) exit(st protoState, kind *exitKind) {
+	if st.terminated {
+		return
+	}
+	renames, claims := st.pendingRenames, st.pendingClaims
+	if kind != nil && kind.escapesHandle {
+		claims = nil // the open handle's receiver owns the sync
+	}
+	if kind != nil && kind.errorExit {
+		if kind.createdHere == 0 {
+			return // error path: the publication never happened
+		}
+		// Only obligations born inside the return statement survive the
+		// waiver; they sit at the tail of the pending lists.
+		n := len(renames) + len(claims)
+		keep := kind.createdHere
+		if keep > n {
+			keep = n
+		}
+		drop := n - keep
+		if drop >= len(renames) {
+			claims = claims[min(drop-len(renames), len(claims)):]
+			renames = nil
+		} else {
+			renames = renames[drop:]
+		}
+	}
+	for _, o := range renames {
+		a.report(o.pos, "rename is not followed by a directory sync on this path; a crash here can lose the publication — call SyncDir(dir) before returning success")
+	}
+	for _, o := range claims {
+		a.report(o.pos, "O_EXCL claim is never synced on this path; a crash can revoke the lease and double-run the unit — call Sync before returning success")
+	}
+}
+
+// report emits one finding per creating site and message, however many
+// paths carry it.
+func (a *protoAnalyzer) report(pos token.Pos, msg string) {
+	k := reportKey{pos, msg}
+	if a.reported[k] {
+		return
+	}
+	a.reported[k] = true
+	a.pass.Reportf(pos, "%s", msg)
+}
+
+// events scans one expression/statement subtree (excluding nested function
+// literals) for protocol events in source order and applies them.
+func (a *protoAnalyzer) events(n ast.Node, st protoState) protoState {
+	if n == nil {
+		return st
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, nargs := calleeName(call)
+		switch {
+		case name == "CreateTemp" && nargs == 2:
+			st.tempCreated = true
+			st.tempSynced = false
+		case name == "Sync" && nargs == 0:
+			st.tempSynced = true
+			st.pendingClaims = nil
+		case name == "OpenExcl" && nargs == 1:
+			st.pendingClaims = append(st.pendingClaims, obligation{pos: call.Pos()})
+		case name == "Rename" && nargs == 2:
+			if st.tempCreated && !st.tempSynced {
+				a.report(call.Pos(), "rename publishes a temp file that was never synced; call Sync before Rename or the published file can be empty after a crash")
+			}
+			st.pendingRenames = append(st.pendingRenames, obligation{pos: call.Pos()})
+		case name == "SyncDir" && nargs == 1:
+			st.pendingRenames = nil
+		}
+		return true
+	})
+	return st
+}
+
+// calleeName extracts the called method/function name and argument count.
+func calleeName(call *ast.CallExpr) (string, int) {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name, len(call.Args)
+	case *ast.Ident:
+		return f.Name, len(call.Args)
+	}
+	return "", 0
+}

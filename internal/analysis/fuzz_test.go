@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAllowComment pins the three-outcome contract of the suppression
+// parser: nil rules for text that is not an allow comment, ok for the
+// well-formed grammar, and empty non-nil rules for a malformed allow
+// comment (so collectSuppressions can report it instead of skipping it).
+func TestParseAllowComment(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		in     string
+		rules  []string
+		reason string
+		ok     bool
+	}{
+		{"//mvlint:allow wallclock — harness timing", []string{"wallclock"}, "harness timing", true},
+		{"//mvlint:allow floateq,maporder -- two rules", []string{"floateq", "maporder"}, "two rules", true},
+		{"//mvlint:allow  a , b — spaced list", []string{"a", "b"}, "spaced list", true},
+		{"// an ordinary comment", nil, "", false},
+		{"//mvlint:allowance wallclock — wrong marker", nil, "", false},
+		{"//mvlint:allow", []string{}, "", false},
+		{"//mvlint:allow wallclock", []string{}, "", false},
+		{"//mvlint:allow — reason only", []string{}, "reason only", false},
+		{"//mvlint:allow ,,, — commas only", []string{}, "commas only", false},
+	}
+	for _, c := range cases {
+		rules, reason, ok := ParseAllowComment(c.in)
+		if ok != c.ok || reason != c.reason || strings.Join(rules, "|") != strings.Join(c.rules, "|") {
+			t.Errorf("ParseAllowComment(%q) = %q, %q, %v; want %q, %q, %v",
+				c.in, rules, reason, ok, c.rules, c.reason, c.ok)
+		}
+		if (rules == nil) != (c.rules == nil) {
+			t.Errorf("ParseAllowComment(%q): rules nilness = %v, want %v",
+				c.in, rules == nil, c.rules == nil)
+		}
+	}
+}
+
+// FuzzAllowComment drives the suppression parser with arbitrary comment
+// text. The parser fronts every comment in the module during a lint run,
+// so the invariants are:
+//
+//  1. no input panics it — the function is total over strings;
+//  2. a well-formed result carries at least one rule and a non-empty
+//     reason, and only ever comes from text starting with the marker;
+//  3. nil rules are reserved for text that is not an allow comment at
+//     all, so collectSuppressions' malformed-vs-skip split stays sound;
+//  4. accepted rule names are trimmed, non-empty, and comma-free.
+//
+// Seed inputs covering the grammar live under
+// testdata/fuzz/FuzzAllowComment; run `go test -fuzz=FuzzAllowComment
+// ./internal/analysis` to explore beyond them.
+func FuzzAllowComment(f *testing.F) {
+	seeds := []string{
+		"//mvlint:allow wallclock — harness timing",
+		"//mvlint:allow floateq,maporder -- two rules",
+		"//mvlint:allow wallclock",
+		"//mvlint:allow — reason only",
+		"//mvlint:allowance wallclock — wrong marker",
+		"// an ordinary comment",
+		"//mvlint:allow ,,, — commas only",
+		"//mvlint:allow\twallclock\t—\ttabs throughout",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, ok := ParseAllowComment(text)
+		if ok {
+			if len(rules) == 0 {
+				t.Errorf("ParseAllowComment(%q): ok with no rules", text)
+			}
+			if reason == "" {
+				t.Errorf("ParseAllowComment(%q): ok with empty reason", text)
+			}
+			if !strings.HasPrefix(text, allowPrefix) {
+				t.Errorf("ParseAllowComment(%q): ok without the %s marker", text, allowPrefix)
+			}
+			if rules == nil {
+				t.Errorf("ParseAllowComment(%q): ok with nil rules", text)
+			}
+		}
+		for _, r := range rules {
+			if r == "" || r != strings.TrimSpace(r) || strings.Contains(r, ",") {
+				t.Errorf("ParseAllowComment(%q): unnormalized rule %q", text, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements that spawn a goroutine with no
+// visible cancellation or completion coupling: nothing in the spawned body
+// (or the call's arguments) mentions a context.Context, a sync.WaitGroup,
+// or a channel, and the body performs no channel operation. Such a
+// goroutine cannot be told to stop and cannot be waited for — in the
+// harness it outlives its replication and races the next one; in a CLI it
+// can outlive main and lose buffered work.
+//
+// The rule is interprocedural over one hop: `go p.worker()` is judged by
+// worker's body (looked up in the module call graph), not just the call
+// site. It is a heuristic, not a proof — a channel touched in the body is
+// taken as coupling evidence whether or not it semantically cancels — but
+// every legitimate spawn in this codebase couples through one of the three
+// mechanisms, so a clean verdict is meaningful and a finding is worth a
+// look (or a reasoned //mvlint:allow).
+type GoroutineLeak struct{}
+
+// Name implements Rule.
+func (GoroutineLeak) Name() string { return "goroutineleak" }
+
+// Doc implements Rule.
+func (GoroutineLeak) Doc() string {
+	return "flag go statements with no context, WaitGroup, or channel coupling in the spawned body"
+}
+
+// CheckModule implements ModuleChecker.
+func (GoroutineLeak) CheckModule(p *ModulePass) {
+	g := p.Graph()
+	for _, key := range sortedKeys(g.Nodes) {
+		node := g.Nodes[key]
+		if !IsToolPackage(node.Pkg.Path) {
+			continue
+		}
+		ast.Inspect(node.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != node.Body {
+				return false // nested literal bodies are their own nodes
+			}
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !coupledSpawn(g, node, gs.Call) {
+				p.Reportf(node.Pkg.Fset, gs.Pos(), "goroutine has no cancellation or completion path (no context, WaitGroup, or channel in the spawned body); couple it so it cannot outlive its owner")
+			}
+			return true
+		})
+	}
+}
+
+// coupledSpawn reports whether the spawned call shows coupling evidence:
+// in its arguments, or in the spawned function's body (a literal, or a
+// named function resolved through the call graph).
+func coupledSpawn(g *CallGraph, node *CGNode, call *ast.CallExpr) bool {
+	info := node.Pkg.Info
+	for _, arg := range call.Args {
+		if exprCouples(arg, info) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyCouples(fun.Body, info, fun)
+	default:
+		var id *ast.Ident
+		switch f := fun.(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		}
+		if id == nil {
+			return false // dynamic spawn target: no evidence
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok {
+			return false
+		}
+		callee := g.Nodes[funcLabel(fn)]
+		if callee == nil {
+			return false // body not in the module: no evidence
+		}
+		return bodyCouples(callee.Body, callee.Pkg.Info, nil)
+	}
+}
+
+// bodyCouples scans a spawned body for coupling evidence. skip, when
+// non-nil, is the literal whose body this is (so the scan does not skip
+// itself); deeper nested literals still count — a goroutine that ranges a
+// channel inside a helper closure is coupled.
+func bodyCouples(body *ast.BlockStmt, info *types.Info, skip *ast.FuncLit) bool {
+	coupled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if coupled {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			coupled = true
+		case ast.Expr:
+			if exprCouples(v, info) {
+				coupled = true
+			}
+		}
+		return !coupled
+	})
+	return coupled
+}
+
+// exprCouples reports whether the expression's type is a coupling type:
+// a channel, a context.Context, or a sync.WaitGroup (possibly behind a
+// pointer).
+func exprCouples(e ast.Expr, info *types.Info) bool {
+	t := info.TypeOf(e)
+	return t != nil && couplingType(t)
+}
+
+// couplingType recognizes chan T, context.Context, and sync.WaitGroup.
+func couplingType(t types.Type) bool {
+	switch v := t.(type) {
+	case *types.Pointer:
+		return couplingType(v.Elem())
+	case *types.Chan:
+		return true
+	case *types.Named:
+		obj := v.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		path, name := obj.Pkg().Path(), obj.Name()
+		return (path == "context" && name == "Context") || (path == "sync" && name == "WaitGroup")
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return false
+}

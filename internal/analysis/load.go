@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -48,6 +50,17 @@ func NewLoader() *Loader {
 // Load parses the non-test Go files of dir and type-checks them under the
 // given import path.
 func (l *Loader) Load(dir, path string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(dir, path, files)
+}
+
+// parseDir parses the non-test Go files of dir, sorted by file name. It is
+// safe for concurrent use: token.FileSet serializes file registration
+// internally, so the parse phase of a multi-package load can fan out.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -70,6 +83,14 @@ func (l *Loader) Load(dir, path string) (*Package, error) {
 	sort.Slice(files, func(i, j int) bool {
 		return l.Fset.File(files[i].Pos()).Name() < l.Fset.File(files[j].Pos()).Name()
 	})
+	return files, nil
+}
+
+// check type-checks already-parsed files. NOT safe for concurrent use: the
+// source importer caches dependency packages behind no lock, so the check
+// phase runs serially (parallelism lives in parseDir and in the rule
+// runners; see DESIGN.md §13).
+func (l *Loader) check(dir, path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -129,13 +150,34 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
+
+	// Phase 1: parse every package's files concurrently (the file set
+	// serializes registration internally). Phase 2: type-check serially in
+	// sorted order — the source importer's cache is not concurrency-safe.
+	parsed := make([][]*ast.File, len(sorted))
+	errs := make([]error, len(sorted))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range sorted {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i], errs[i] = l.parseDir(dir)
+		}(i, dir)
+	}
+	wg.Wait()
 	var pkgs []*Package
-	for _, dir := range sorted {
+	for i, dir := range sorted {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
 		path, err := importPath(dir, root, module)
 		if err != nil {
 			return nil, err
 		}
-		pkg, err := l.Load(dir, path)
+		pkg, err := l.check(dir, path, parsed[i])
 		if err != nil {
 			return nil, err
 		}

@@ -20,12 +20,15 @@ type suppression struct {
 	// the next (so the comment can trail the offending line or sit above
 	// it).
 	line int
+	col  int
 	file string
 }
 
-// suppressions indexes the allow comments of one package.
+// suppressions indexes the allow comments of one analysis run.
 type suppressions struct {
-	// byFile maps file name to the suppressions in that file.
+	// byFile maps file name to the suppressions in that file. File names
+	// are unique across a run's packages, so one index serves per-package
+	// and module rules alike.
 	byFile map[string][]suppression
 	// malformed collects diagnostics for allow comments without a reason
 	// (rule "suppress"): an unexplained suppression hides its own
@@ -44,25 +47,18 @@ func (s *suppressions) allows(rule string, pos token.Position) bool {
 	return false
 }
 
-// collectSuppressions parses every //mvlint:allow comment in the package.
-func collectSuppressions(pkg *Package) *suppressions {
-	out := &suppressions{byFile: map[string][]suppression{}}
+// collectSuppressions parses every //mvlint:allow comment in the package
+// into the shared index.
+func collectSuppressions(pkg *Package, out *suppressions) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
-				if !ok {
-					continue
+				rules, _, ok := ParseAllowComment(c.Text)
+				if rules == nil && !ok {
+					continue // not an allow comment at all
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				spec, reason := splitReason(rest)
-				rules := map[string]bool{}
-				for _, r := range strings.Split(spec, ",") {
-					if r = strings.TrimSpace(r); r != "" {
-						rules[r] = true
-					}
-				}
-				if len(rules) == 0 || reason == "" {
+				if !ok {
 					out.malformed = append(out.malformed, Diagnostic{
 						Rule:    "suppress",
 						Pos:     pos,
@@ -73,15 +69,53 @@ func collectSuppressions(pkg *Package) *suppressions {
 					})
 					continue
 				}
+				set := make(map[string]bool, len(rules))
+				for _, r := range rules {
+					set[r] = true
+				}
 				out.byFile[pos.Filename] = append(out.byFile[pos.Filename], suppression{
-					rules: rules,
+					rules: set,
 					line:  pos.Line,
+					col:   pos.Column,
 					file:  pos.Filename,
 				})
 			}
 		}
 	}
-	return out
+}
+
+// ParseAllowComment parses one comment's text against the suppression
+// grammar //mvlint:allow <rule>[,<rule>] — <reason>.
+//
+// Three outcomes:
+//   - (nil, "", false): the comment is not an allow comment at all;
+//   - (rules, reason, true): a well-formed suppression;
+//   - (rules, reason, false) with rules non-nil possible only as
+//     (empty, _, false): an allow comment that is malformed — missing
+//     rules, missing reason separator, or empty reason.
+//
+// The function is total over arbitrary strings (FuzzAllowComment pins
+// that) so the linter can never be crashed by a comment.
+func ParseAllowComment(text string) (rules []string, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, allowPrefix)
+	if !found {
+		return nil, "", false
+	}
+	// Require a boundary after the prefix so "//mvlint:allowance" is not
+	// parsed as a suppression (an empty rest is malformed, caught below).
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	spec, reason := splitReason(rest)
+	for _, r := range strings.Split(spec, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 || reason == "" {
+		return []string{}, reason, false
+	}
+	return rules, reason, true
 }
 
 // splitReason splits "wallclock, getenv — why" into the rule list and the

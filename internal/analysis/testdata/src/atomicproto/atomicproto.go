@@ -1,0 +1,172 @@
+// Package atomicproto seeds violations of the publication-protocol rule.
+// Loaded by the analyzer self-tests under a cmd/ package path; never built
+// by the go tool.
+package atomicproto
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// File is the corpus stand-in for store.File: the automaton matches
+// protocol events by method name and arity, so a fake exercises the same
+// code paths the real FS does.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS mirrors the store.FS protocol vocabulary.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	OpenExcl(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	SyncDir(path string) error
+	Remove(path string) error
+}
+
+// Direct bypasses the FS entirely: every direct os publication call is
+// banned in tool code.
+func Direct(data []byte) error {
+	f, err := os.Create("results/figure1.csv") // want `\[atomicproto\] direct os\.Create`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.WriteFile("results/report.json", data, 0o644); err != nil { // want `\[atomicproto\] direct os\.WriteFile`
+		return err
+	}
+	return os.Rename("a", "b") // want `\[atomicproto\] direct os\.Rename` `\[atomicproto\] rename is not followed by a directory sync`
+}
+
+// Publish follows the full protocol: temp, write, sync, rename, dirsync.
+// Quiet.
+func Publish(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// RenameNoDirSync publishes but never syncs the directory: a crash can
+// lose the rename.
+func RenameNoDirSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), path); err != nil { // want `\[atomicproto\] rename is not followed by a directory sync`
+		return err
+	}
+	return nil
+}
+
+// RenameBeforeSync publishes a temp file that was never fsynced: the
+// published name can hold an empty file after a crash.
+func RenameBeforeSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), path); err != nil { // want `\[atomicproto\] rename publishes a temp file that was never synced` `\[atomicproto\] rename is not followed by a directory sync`
+		return err
+	}
+	return nil
+}
+
+// MoveNoDirSync: renames that do not publish a temp file still need the
+// directory sync, but not a prior file sync.
+func MoveNoDirSync(fsys FS, src, dst string) error {
+	if err := fsys.Rename(src, dst); err != nil { // want `\[atomicproto\] rename is not followed by a directory sync`
+		return err
+	}
+	return nil
+}
+
+// MoveThenDirSync is the fixed form of MoveNoDirSync. Quiet.
+func MoveThenDirSync(fsys FS, src, dst string) error {
+	if err := fsys.Rename(src, dst); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(dst))
+}
+
+// RenameInReturn creates the obligation inside the success return itself
+// — the error-path waiver must not excuse it.
+func RenameInReturn(fsys FS, src, dst string) error {
+	return fsys.Rename(src, dst) // want `\[atomicproto\] rename is not followed by a directory sync`
+}
+
+// ClaimNoSync acquires an O_EXCL claim but never makes it durable.
+func ClaimNoSync(fsys FS, path string) (bool, error) {
+	f, err := fsys.OpenExcl(path) // want `\[atomicproto\] O_EXCL claim is never synced`
+	if err != nil {
+		return false, nil
+	}
+	_ = f.Close()
+	return true, nil
+}
+
+// ClaimSynced is the correct claim shape: exclusive create, sync, close.
+// Quiet.
+func ClaimSynced(fsys FS, path string) (bool, error) {
+	f, err := fsys.OpenExcl(path)
+	if err != nil {
+		return false, nil
+	}
+	_ = f.Sync()
+	if err := f.Close(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ClaimEscapes hands the open handle to the caller, who then owns the
+// sync obligation (the decorator / CreateAtomic shape). Quiet.
+func ClaimEscapes(fsys FS, path string) (File, error) {
+	f, err := fsys.OpenExcl(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Wrapper is a single-return delegation: the caller owns the protocol.
+// Quiet.
+type Wrapper struct{ inner FS }
+
+// Rename forwards to the wrapped FS.
+func (w Wrapper) Rename(oldpath, newpath string) error {
+	return w.inner.Rename(oldpath, newpath)
+}
+
+// Suppressed documents a deliberate bare move with a reasoned allow.
+// Quiet.
+func Suppressed(fsys FS, src, dst string) error {
+	//mvlint:allow atomicproto — corpus fixture for a reasoned suppression
+	return fsys.Rename(src, dst)
+}

@@ -1,0 +1,88 @@
+// Package goroutineleak seeds uncoupled goroutine spawns and their
+// coupled counterparts. Loaded by the analyzer self-tests under a tool
+// package path; never built by the go tool.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work(n int) { _ = n }
+
+// Leaky spawns with no cancellation or completion evidence anywhere.
+func Leaky() {
+	go func() { // want `\[goroutineleak\] goroutine has no cancellation or completion path`
+		work(1)
+	}()
+}
+
+// ChannelCoupled blocks on a channel the owner controls. Quiet.
+func ChannelCoupled(done chan struct{}) {
+	go func() {
+		<-done
+		work(2)
+	}()
+}
+
+// WaitGroupCoupled signals completion to the owner. Quiet.
+func WaitGroupCoupled(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(3)
+	}()
+}
+
+// CtxCoupled watches its context for cancellation. Quiet.
+func CtxCoupled(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Pool couples through a named worker method: the evidence lives one hop
+// away, found through the call graph. Quiet.
+type Pool struct {
+	done sync.WaitGroup
+	jobs chan int
+}
+
+// Start spawns the worker.
+func (p *Pool) Start() {
+	p.done.Add(1)
+	go p.worker()
+}
+
+// worker drains the job channel and signals the WaitGroup.
+func (p *Pool) worker() {
+	defer p.done.Done()
+	for j := range p.jobs {
+		work(j)
+	}
+}
+
+// NamedLeaky spawns a named function with no coupling in its body either.
+func NamedLeaky() {
+	go spin() // want `\[goroutineleak\] goroutine has no cancellation or completion path`
+}
+
+// spin runs forever with no exit path.
+func spin() {
+	for i := 0; ; i++ {
+		work(i)
+	}
+}
+
+// ArgCoupled hands the spawned function a quit channel. Quiet.
+func ArgCoupled(quit chan struct{}) {
+	go waitOn(quit)
+}
+
+func waitOn(q chan struct{}) { <-q }
+
+// Suppressed documents a deliberate process-lifetime goroutine. Quiet.
+func Suppressed() {
+	//mvlint:allow goroutineleak — corpus fixture: process-lifetime helper by design
+	go spin()
+}

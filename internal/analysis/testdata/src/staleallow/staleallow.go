@@ -1,0 +1,26 @@
+// Package staleallow exercises the stale-suppression audit: one allow
+// comment that still anchors a finding, one whose finding has since been
+// fixed, and one naming a rule that does not exist. Loaded by the analyzer
+// self-tests; never built by the go tool.
+package staleallow
+
+import "time"
+
+// Anchored still earns its suppression: the wallclock finding it hides is
+// real, so -staleallow must not flag it.
+func Anchored() time.Time {
+	//mvlint:allow wallclock — fixture: the suppression still anchors a finding
+	return time.Now()
+}
+
+// Stale kept its allow comment after the offending call was removed.
+func Stale() int {
+	//mvlint:allow wallclock — fixture: the offending call is long gone
+	return 42
+}
+
+// Unknown names a rule that does not exist.
+func Unknown() int {
+	//mvlint:allow nosuchrule — fixture: typo in the rule name
+	return 7
+}

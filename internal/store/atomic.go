@@ -11,8 +11,10 @@ import (
 // (CSV files, reports, traces, benchmark baselines). The contract: a file
 // either appears complete and durable under its final name, or it does not
 // appear at all — a crash mid-write leaves at worst an orphaned temp file,
-// never a torn artifact. mvlint's atomicwrite rule flags direct os.Create /
-// os.WriteFile calls in tool code so artifacts cannot silently bypass it.
+// never a torn artifact. mvlint's atomicproto rule checks the full
+// protocol ordering (temp → write → sync → rename → dirsync) in tool code
+// and flags direct os.Create / os.WriteFile / os.Rename calls, so
+// artifacts cannot silently bypass the discipline.
 
 // WriteFileAtomic writes data to path atomically: temp file in the same
 // directory, write, fsync, close, rename, fsync of the directory. On any

@@ -46,8 +46,9 @@ type FaultFS struct {
 	// heartbeat, or failure-log appends refused by the filesystem.
 	failAppendIn int
 
-	// Writes, Renames, Reads count operations for test assertions.
-	Writes, Renames, Reads int
+	// Writes, Renames, Reads, SyncDirs count operations for test
+	// assertions.
+	Writes, Renames, Reads, SyncDirs int
 }
 
 // NewFaultFS wraps inner (OS when nil) with disarmed failpoints.
@@ -167,12 +168,17 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 	if hit {
 		return renameError{oldpath: oldpath, newpath: newpath}
 	}
-	return f.inner.Rename(oldpath, newpath)
+	return f.inner.Rename(oldpath, newpath) //mvlint:allow atomicproto — fault-injection decorator forwards a bare rename; the caller owns the publication protocol
 }
 
 func (f *FaultFS) Remove(path string) error              { return f.inner.Remove(path) }
 func (f *FaultFS) Stat(path string) (fs.FileInfo, error) { return f.inner.Stat(path) }
-func (f *FaultFS) SyncDir(path string) error             { return f.inner.SyncDir(path) }
+func (f *FaultFS) SyncDir(path string) error {
+	f.mu.Lock()
+	f.SyncDirs++
+	f.mu.Unlock()
+	return f.inner.SyncDir(path)
+}
 
 // faultFile routes Write and Sync through the armed failpoints.
 type faultFile struct {

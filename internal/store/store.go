@@ -265,7 +265,12 @@ func (s *DiskStore) quarantine(path string) {
 		// quarantine dir is unusable; if this fails too the entry stays
 		// put and every future Get re-detects the corruption.
 		_ = s.fsys.Remove(path)
+		return
 	}
+	// Best-effort durability for the move: if the sync (or the rename
+	// itself) is lost in a crash, the entry reappears in the cache and is
+	// simply re-detected as corrupt on the next Get.
+	_ = s.fsys.SyncDir(filepath.Dir(dest))
 }
 
 // Put implements Store: encode, write to a temp file, fsync, rename into

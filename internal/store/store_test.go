@@ -123,6 +123,33 @@ func TestDiskStoreCorruptionDegradesToRecomputation(t *testing.T) {
 	}
 }
 
+// TestQuarantineSyncsCorruptDir pins the durability fix the atomicproto
+// lint rule surfaced: after a successful quarantine rename the corrupt/
+// directory is synced, so the moved-aside evidence survives a crash.
+func TestQuarantineSyncsCorruptDir(t *testing.T) {
+	t.Parallel()
+
+	ffs := NewFaultFS(OS)
+	s := openTestStore(t, DiskOptions{FS: ffs})
+	ctx := context.Background()
+	k := testKey("cfg", 3)
+	if err := s.Put(ctx, k, testResult(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.CorruptReadIn(1)
+	before := ffs.SyncDirs
+	if _, ok, err := s.Get(ctx, k); err != nil || ok {
+		t.Fatalf("corrupt read: ok=%v err=%v, want plain miss", ok, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if ffs.SyncDirs <= before {
+		t.Fatalf("quarantine moved the entry without syncing corrupt/ (SyncDirs %d -> %d)", before, ffs.SyncDirs)
+	}
+}
+
 // TestDiskStoreVersionMismatchIsPlainMiss: an entry from another codec
 // revision is healthy data, not corruption — it stays on disk (no
 // quarantine) and is simply recomputed and overwritten.

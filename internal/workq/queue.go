@@ -318,6 +318,11 @@ func (q *Queue) DeadLetter(u Unit, cause error) error {
 	if err := q.fsys.Rename(src, q.deadPath(u)); err != nil {
 		return fmt.Errorf("workq: dead-letter %s: %w", u.ID(), err)
 	}
+	// The rename marks the unit terminal; without a directory sync a
+	// crash can roll it back and resurrect the unit on every worker.
+	if err := q.fsys.SyncDir(filepath.Dir(q.deadPath(u))); err != nil {
+		return fmt.Errorf("workq: sync dead dir for %s: %w", u.ID(), err)
+	}
 	return nil
 }
 

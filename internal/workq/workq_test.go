@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/store"
 )
 
 func testSpec() Spec {
@@ -347,6 +348,31 @@ func TestAttemptBudgetAndDeadLetter(t *testing.T) {
 	p := q.Census([]Unit{u})
 	if p.Dead != 1 || p.Open != 0 || p.Acked != 0 {
 		t.Errorf("census = %+v, want one dead unit", p)
+	}
+}
+
+// TestDeadLetterSyncsDeadDir pins the crash-consistency fix the
+// atomicproto lint rule surfaced: the rename of the failure log into
+// dead/ must be followed by a directory sync, or a crash can roll the
+// rename back and resurrect the unit on every worker.
+func TestDeadLetterSyncsDeadDir(t *testing.T) {
+	t.Parallel()
+
+	ffs := store.NewFaultFS(store.OS)
+	q := openTestQueue(t, t.TempDir(), QueueOptions{WorkerID: "w", FS: ffs})
+	u := testUnits(1)[0]
+	if err := q.RecordFailure(u, errors.New("boom")); err != nil {
+		t.Fatalf("record failure: %v", err)
+	}
+	before := ffs.SyncDirs
+	if err := q.DeadLetter(u, errors.New("budget spent")); err != nil {
+		t.Fatalf("dead-letter: %v", err)
+	}
+	if ffs.SyncDirs <= before {
+		t.Fatalf("DeadLetter renamed into dead/ without syncing the directory (SyncDirs %d -> %d)", before, ffs.SyncDirs)
+	}
+	if !q.Dead(u) {
+		t.Fatal("dead-lettered unit not Dead")
 	}
 }
 
