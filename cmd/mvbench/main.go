@@ -14,19 +14,29 @@
 //
 // Usage:
 //
-//	mvbench [-label L] [-out DIR] [-count N] [-run SUBSTR]
+//	mvbench [-label L] [-out DIR] [-count N] [-run SUBSTR] [-tier T[,T]]
 //	mvbench -compare OLD.json [-threshold F] [-sanity F] ...
 //
 // With -compare, mvbench runs the suite, diffs it against OLD.json, and
-// exits 1 if any benchmark regressed past the thresholds (ns/op by more
-// than -threshold as a fraction, any allocs/op increase, or any headline
-// drift beyond -sanity relative tolerance). Exit code 2 reports a usage or
-// execution error.
+// exits 1 if any benchmark regressed past the thresholds (ns/op or
+// bytes/phone by more than -threshold as a fraction, any allocs/op
+// increase, or any headline drift beyond -sanity relative tolerance).
+// Exit code 2 reports a usage or execution error.
+//
+// The suite is tiered (DESIGN.md §9): "quick" entries are cheap enough for
+// every PR run, "scale" holds the 100k-phone population benchmark that PR
+// CI runs as its own gate step, and "nightly" holds the 10^6-phone entry
+// that only the nightly workflow executes. -tier selects tiers (comma
+// separated); the default runs quick+scale, so a plain `make bench` stays
+// minutes, not hours. In -compare mode only the selected entries gate:
+// baseline entries outside the tier/run selection are skipped, not
+// reported missing.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,12 +51,33 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sanphone"
 	"repro/internal/store"
 	"repro/internal/virus"
 	"repro/internal/workq"
 )
+
+// parseTiers turns the -tier flag into a selection set; empty string means
+// every tier.
+func parseTiers(s string) (map[string]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]bool)
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		switch t {
+		case tierQuick, tierScale, tierNightly:
+			out[t] = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown tier %q (want quick, scale, or nightly)", t)
+		}
+	}
+	return out, nil
+}
 
 // schemaVersion gates comparisons across incompatible report layouts.
 const schemaVersion = 1
@@ -56,15 +87,30 @@ const schemaVersion = 1
 // correctness figure.
 const eventsMetric = "events/op"
 
+// bytesPerPhoneMetric is the ReportMetric unit the population benchmarks
+// use for steady-state memory per phone. It is a capacity figure, not a
+// correctness headline: in -compare mode it gates like ns/op (fractional
+// -threshold), since heap measurement jitters far beyond the -sanity
+// tolerance reserved for deterministic correctness metrics.
+const bytesPerPhoneMetric = "bytes/phone"
+
+// Suite tiers (DESIGN.md §9).
+const (
+	tierQuick   = "quick"   // every PR run, sub-minute entries
+	tierScale   = "scale"   // PR gate step: 10^5-phone population
+	tierNightly = "nightly" // nightly only: 10^6-phone population
+)
+
 // Result is one benchmark's measurement.
 type Result struct {
-	Name         string             `json:"name"`
-	NsPerOp      float64            `json:"ns_per_op"`
-	AllocsPerOp  int64              `json:"allocs_per_op"`
-	BytesPerOp   int64              `json:"bytes_per_op"`
-	EventsPerOp  float64            `json:"events_per_op,omitempty"`
-	EventsPerSec float64            `json:"events_per_sec,omitempty"`
-	Headline     map[string]float64 `json:"headline,omitempty"`
+	Name          string             `json:"name"`
+	NsPerOp       float64            `json:"ns_per_op"`
+	AllocsPerOp   int64              `json:"allocs_per_op"`
+	BytesPerOp    int64              `json:"bytes_per_op"`
+	EventsPerOp   float64            `json:"events_per_op,omitempty"`
+	EventsPerSec  float64            `json:"events_per_sec,omitempty"`
+	BytesPerPhone float64            `json:"bytes_per_phone,omitempty"`
+	Headline      map[string]float64 `json:"headline,omitempty"`
 }
 
 // Report is the BENCH_<label>.json document.
@@ -82,6 +128,7 @@ type Report struct {
 // spec is one pinned suite entry.
 type spec struct {
 	name string
+	tier string
 	run  func(b *testing.B)
 }
 
@@ -90,16 +137,86 @@ type spec struct {
 // committed baselines.
 func suite() []spec {
 	return []spec{
-		{"des/schedule-fire-1k", benchScheduleFire},
-		{"des/self-perpetuating-chain", benchChain},
-		{"des/schedule-cancel", benchScheduleCancel},
-		{"san/phone-activity", benchSANPhone},
-		{"figure1/reduced", benchFigure1},
-		{"figures/sweep-reduced", benchFiguresSweep},
-		{"figures/sweep-distributed", benchDistributedSweep},
-		{"store/codec-roundtrip", benchStoreCodec},
-		{"mvlint/self", benchMvlintSelf},
+		{"des/schedule-fire-1k", tierQuick, benchScheduleFire},
+		{"des/self-perpetuating-chain", tierQuick, benchChain},
+		{"des/schedule-cancel", tierQuick, benchScheduleCancel},
+		{"san/phone-activity", tierQuick, benchSANPhone},
+		{"figure1/reduced", tierQuick, benchFigure1},
+		{"figures/sweep-reduced", tierQuick, benchFiguresSweep},
+		{"figures/sweep-distributed", tierQuick, benchDistributedSweep},
+		{"store/codec-roundtrip", tierQuick, benchStoreCodec},
+		{"mvlint/self", tierQuick, benchMvlintSelf},
+		{"core/population-100k", tierScale, benchPopulation100k},
+		{"core/population-1m", tierNightly, benchPopulation1M},
 	}
+}
+
+// populationConfig is the pinned scale scenario: a streamed Barabási–Albert
+// topology (m=4, mean degree ~8), Virus 3 (the fast random-dialing flood),
+// 1% of the population seeded, sharded conservative-window execution. The
+// seeds, shard counts, windows, and horizons are part of the baseline
+// contract.
+func populationConfig(phones, shards int, horizon time.Duration) core.Config {
+	cfg := core.Default(virus.Virus3())
+	cfg.Population = phones
+	cfg.CSRBuilder = func(src *rng.Source) (*graph.CSR, error) {
+		return graph.BarabasiAlbertCSR(phones, 4, src)
+	}
+	cfg.InitialInfected = phones / 100
+	cfg.Horizon = horizon
+	cfg.Shards = shards
+	cfg.ShardWindow = 5 * time.Minute
+	return cfg
+}
+
+// benchPopulation measures the million-phone path end to end: per op, build
+// the streamed CSR topology, SoA population, shard networks, and engines
+// for (cfg, seed 1), then run to the horizon. Steady-state bytes/phone is
+// metered once, outside the timer, as the live-heap delta across an
+// isolated construction (two forced GCs bracket it so the figure is the
+// retained footprint, not allocator churn); events/op comes from the merged
+// shard queues; the final infected count is a deterministic headline sanity.
+func benchPopulation(b *testing.B, cfg core.Config) {
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	probe, err := core.NewShardedRun(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	bytesPerPhone := float64(after.HeapAlloc-before.HeapAlloc) / float64(cfg.Population)
+	runtime.KeepAlive(probe)
+	probe = nil
+
+	var events uint64
+	final := -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := core.NewShardedRun(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sr.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += sr.ShardSet().EventsFired()
+		final = res.FinalInfected
+	}
+	b.ReportMetric(float64(events)/float64(b.N), eventsMetric)
+	b.ReportMetric(bytesPerPhone, bytesPerPhoneMetric)
+	b.ReportMetric(float64(final), "final-infected-seed1")
+}
+
+func benchPopulation100k(b *testing.B) {
+	benchPopulation(b, populationConfig(100_000, 8, 2*time.Hour))
+}
+
+func benchPopulation1M(b *testing.B) {
+	benchPopulation(b, populationConfig(1_000_000, 32, time.Hour))
 }
 
 // benchMvlintSelf measures one full lint run over the module — parse,
@@ -373,6 +490,8 @@ func toResult(name string, r testing.BenchmarkResult) Result {
 		switch unit {
 		case eventsMetric:
 			out.EventsPerOp = v
+		case bytesPerPhoneMetric:
+			out.BytesPerPhone = v
 		default:
 			if out.Headline == nil {
 				out.Headline = make(map[string]float64)
@@ -400,17 +519,33 @@ func better(best, next Result) Result {
 	if next.BytesPerOp < best.BytesPerOp {
 		best.BytesPerOp = next.BytesPerOp
 	}
+	if next.BytesPerPhone > 0 && (best.BytesPerPhone == 0 || next.BytesPerPhone < best.BytesPerPhone) {
+		best.BytesPerPhone = next.BytesPerPhone
+	}
 	return best
 }
 
-// collect runs every suite entry matching filter count times and keeps the
-// best measurement of each.
-func collect(count int, filter string) ([]Result, error) {
-	var out []Result
+// selectSpecs applies the -tier and -run filters to the suite. tiers nil or
+// empty means every tier.
+func selectSpecs(tiers map[string]bool, filter string) []spec {
+	var out []spec
 	for _, sp := range suite() {
+		if len(tiers) > 0 && !tiers[sp.tier] {
+			continue
+		}
 		if filter != "" && !strings.Contains(sp.name, filter) {
 			continue
 		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// collect runs every selected suite entry count times and keeps the best
+// measurement of each.
+func collect(specs []spec, count int) ([]Result, error) {
+	var out []Result
+	for _, sp := range specs {
 		var best Result
 		for i := 0; i < count; i++ {
 			r := testing.Benchmark(sp.run)
@@ -425,13 +560,23 @@ func collect(count int, filter string) ([]Result, error) {
 			best = better(best, res)
 		}
 		out = append(out, best)
-		fmt.Printf("%-32s %14.1f ns/op %10d allocs/op %12s\n",
-			best.Name, best.NsPerOp, best.AllocsPerOp, eventsPerSecString(best))
+		fmt.Printf("%-32s %14.1f ns/op %10d allocs/op %12s%s\n",
+			best.Name, best.NsPerOp, best.AllocsPerOp, eventsPerSecString(best),
+			bytesPerPhoneString(best))
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no suite entry matches -run %q", filter)
+		return nil, errors.New("no suite entry matches the -tier/-run selection")
 	}
 	return out, nil
+}
+
+// bytesPerPhoneString renders the per-phone footprint column, blank for
+// entries without one.
+func bytesPerPhoneString(r Result) string {
+	if r.BytesPerPhone <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" %.1f B/phone", r.BytesPerPhone)
 }
 
 // eventsPerSecString renders the events/sec column, blank when the entry
@@ -445,15 +590,21 @@ func eventsPerSecString(r Result) string {
 
 // compare diffs fresh results against a committed baseline. It returns
 // human-readable regression descriptions; an empty slice means the gate
-// passes. threshold is the allowed fractional ns/op growth; sanity is the
-// allowed relative drift of headline correctness metrics.
-func compare(old, fresh Report, threshold, sanity float64) []string {
+// passes. threshold is the allowed fractional growth of ns/op and
+// bytes/phone; sanity is the allowed relative drift of headline correctness
+// metrics. selected, when non-nil, restricts the gate to baseline entries
+// in the set (the -tier/-run selection): entries outside it are someone
+// else's tier, not missing benchmarks.
+func compare(old, fresh Report, threshold, sanity float64, selected map[string]bool) []string {
 	var problems []string
 	freshByName := make(map[string]Result, len(fresh.Results))
 	for _, r := range fresh.Results {
 		freshByName[r.Name] = r
 	}
 	for _, o := range old.Results {
+		if selected != nil && !selected[o.Name] {
+			continue
+		}
 		n, ok := freshByName[o.Name]
 		if !ok {
 			problems = append(problems, fmt.Sprintf("%s: present in baseline but not in fresh run", o.Name))
@@ -462,6 +613,12 @@ func compare(old, fresh Report, threshold, sanity float64) []string {
 		if limit := o.NsPerOp * (1 + threshold); n.NsPerOp > limit {
 			problems = append(problems, fmt.Sprintf("%s: ns/op regressed %.1f -> %.1f (>%+.0f%%)",
 				o.Name, o.NsPerOp, n.NsPerOp, threshold*100))
+		}
+		if o.BytesPerPhone > 0 {
+			if limit := o.BytesPerPhone * (1 + threshold); n.BytesPerPhone > limit {
+				problems = append(problems, fmt.Sprintf("%s: bytes/phone regressed %.1f -> %.1f (>%+.0f%%)",
+					o.Name, o.BytesPerPhone, n.BytesPerPhone, threshold*100))
+			}
 		}
 		// Allocation counts are exact for the zero-alloc kernel entries but
 		// jitter by a handful of runtime-internal allocations on multi-
@@ -546,8 +703,9 @@ func run(args []string) int {
 		outDir    = fs.String("out", ".", "directory for the emitted report")
 		count     = fs.Int("count", 1, "repetitions per benchmark; best-of-N is kept")
 		filter    = fs.String("run", "", "only run suite entries whose name contains this substring")
+		tier      = fs.String("tier", "quick,scale", "comma-separated suite tiers to run (quick, scale, nightly; empty = all)")
 		comparePK = fs.String("compare", "", "baseline BENCH_*.json to gate against")
-		threshold = fs.Float64("threshold", 0.15, "allowed fractional ns/op regression in -compare mode")
+		threshold = fs.Float64("threshold", 0.15, "allowed fractional ns/op (and bytes/phone) regression in -compare mode")
 		sanity    = fs.Float64("sanity", 1e-6, "allowed relative drift of headline correctness metrics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -557,8 +715,14 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "mvbench: -count must be >= 1 and thresholds non-negative")
 		return 2
 	}
+	tiers, err := parseTiers(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvbench:", err)
+		return 2
+	}
 
-	results, err := collect(*count, *filter)
+	specs := selectSpecs(tiers, *filter)
+	results, err := collect(specs, *count)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvbench:", err)
 		return 2
@@ -588,7 +752,16 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "mvbench:", err)
 		return 2
 	}
-	problems := compare(base, rep, *threshold, *sanity)
+	// Gate only what this invocation measured: with an active tier or -run
+	// selection, baseline entries outside it belong to other CI steps.
+	var selected map[string]bool
+	if len(tiers) > 0 || *filter != "" {
+		selected = make(map[string]bool, len(specs))
+		for _, sp := range specs {
+			selected[sp.name] = true
+		}
+	}
+	problems := compare(base, rep, *threshold, *sanity, selected)
 	if len(problems) == 0 {
 		fmt.Printf("benchmark gate passed against %s (threshold %+.0f%% ns/op, 0 allocs/op)\n",
 			*comparePK, *threshold*100)

@@ -26,7 +26,7 @@ func TestCompareCleanPass(t *testing.T) {
 
 	old := report(1000, 3, 250)
 	fresh := report(1100, 3, 250) // +10% < 15% threshold
-	if problems := compare(old, fresh, 0.15, 1e-6); len(problems) != 0 {
+	if problems := compare(old, fresh, 0.15, 1e-6, nil); len(problems) != 0 {
 		t.Errorf("gate failed on an in-threshold run: %v", problems)
 	}
 }
@@ -36,7 +36,7 @@ func TestCompareFlagsNsRegression(t *testing.T) {
 
 	old := report(1000, 3, 250)
 	fresh := report(1200, 3, 250) // +20% > 15%
-	problems := compare(old, fresh, 0.15, 1e-6)
+	problems := compare(old, fresh, 0.15, 1e-6, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op regressed") {
 		t.Errorf("want one ns/op regression, got %v", problems)
 	}
@@ -47,7 +47,7 @@ func TestCompareFlagsAnyAllocRegression(t *testing.T) {
 
 	old := report(1000, 0, 250)
 	fresh := report(1000, 1, 250) // zero-alloc baselines get zero slack
-	problems := compare(old, fresh, 0.15, 1e-6)
+	problems := compare(old, fresh, 0.15, 1e-6, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
 		t.Errorf("want one allocs/op regression, got %v", problems)
 	}
@@ -61,11 +61,11 @@ func TestCompareAllocSlackOnLargeCounts(t *testing.T) {
 	// zero-alloc entries.
 	old := report(1000, 2_847_096, 250)
 	within := report(1000, 2_847_100, 250)
-	if problems := compare(old, within, 0.15, 1e-6); len(problems) != 0 {
+	if problems := compare(old, within, 0.15, 1e-6, nil); len(problems) != 0 {
 		t.Errorf("gate failed on in-slack alloc jitter: %v", problems)
 	}
 	beyond := report(1000, 2_852_000, 250) // +0.17%
-	problems := compare(old, beyond, 0.15, 1e-6)
+	problems := compare(old, beyond, 0.15, 1e-6, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
 		t.Errorf("want one allocs/op regression past slack, got %v", problems)
 	}
@@ -76,7 +76,7 @@ func TestCompareAllowsImprovement(t *testing.T) {
 
 	old := report(1000, 3, 250)
 	fresh := report(500, 0, 250)
-	if problems := compare(old, fresh, 0.15, 1e-6); len(problems) != 0 {
+	if problems := compare(old, fresh, 0.15, 1e-6, nil); len(problems) != 0 {
 		t.Errorf("gate failed on a strict improvement: %v", problems)
 	}
 }
@@ -86,7 +86,7 @@ func TestCompareFlagsHeadlineDrift(t *testing.T) {
 
 	old := report(1000, 3, 250)
 	fresh := report(1000, 3, 260) // simulator behavior changed
-	problems := compare(old, fresh, 0.15, 1e-6)
+	problems := compare(old, fresh, 0.15, 1e-6, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "correctness sanity") {
 		t.Errorf("want one headline drift finding, got %v", problems)
 	}
@@ -97,7 +97,7 @@ func TestCompareFlagsMissingBenchmark(t *testing.T) {
 
 	old := report(1000, 3, 250)
 	fresh := Report{Schema: schemaVersion, Results: []Result{{Name: "des/x", NsPerOp: 1000, AllocsPerOp: 3}}}
-	problems := compare(old, fresh, 0.15, 1e-6)
+	problems := compare(old, fresh, 0.15, 1e-6, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "not in fresh run") {
 		t.Errorf("want one missing-benchmark finding, got %v", problems)
 	}
@@ -119,7 +119,7 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if problems := compare(rep, back, 0, 0); len(problems) != 0 {
+	if problems := compare(rep, back, 0, 0, nil); len(problems) != 0 {
 		t.Errorf("round trip is not self-identical: %v", problems)
 	}
 }
@@ -165,25 +165,78 @@ func TestToResultSplitsMetrics(t *testing.T) {
 func TestSuitePinned(t *testing.T) {
 	t.Parallel()
 
-	want := []string{
-		"des/schedule-fire-1k",
-		"des/self-perpetuating-chain",
-		"des/schedule-cancel",
-		"san/phone-activity",
-		"figure1/reduced",
-		"figures/sweep-reduced",
-		"figures/sweep-distributed",
-		"store/codec-roundtrip",
-		"mvlint/self",
+	want := []struct {
+		name, tier string
+	}{
+		{"des/schedule-fire-1k", tierQuick},
+		{"des/self-perpetuating-chain", tierQuick},
+		{"des/schedule-cancel", tierQuick},
+		{"san/phone-activity", tierQuick},
+		{"figure1/reduced", tierQuick},
+		{"figures/sweep-reduced", tierQuick},
+		{"figures/sweep-distributed", tierQuick},
+		{"store/codec-roundtrip", tierQuick},
+		{"mvlint/self", tierQuick},
+		{"core/population-100k", tierScale},
+		{"core/population-1m", tierNightly},
 	}
 	got := suite()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d entries, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i].name != want[i] {
-			t.Errorf("suite[%d] = %q, want %q", i, got[i].name, want[i])
+		if got[i].name != want[i].name || got[i].tier != want[i].tier {
+			t.Errorf("suite[%d] = %q/%q, want %q/%q", i, got[i].name, got[i].tier, want[i].name, want[i].tier)
 		}
+	}
+}
+
+// TestCompareSkipsUnselectedBaselineEntries pins the tiered-CI contract: a
+// quick-tier invocation must not report the scale or nightly baseline
+// entries as missing benchmarks.
+func TestCompareSkipsUnselectedBaselineEntries(t *testing.T) {
+	t.Parallel()
+
+	old := report(1000, 3, 250)
+	fresh := Report{Schema: schemaVersion, Results: []Result{{Name: "des/x", NsPerOp: 1000, AllocsPerOp: 3}}}
+	selected := map[string]bool{"des/x": true}
+	if problems := compare(old, fresh, 0.15, 1e-6, selected); len(problems) != 0 {
+		t.Errorf("selected-set gate flagged an unselected baseline entry: %v", problems)
+	}
+}
+
+// TestCompareGatesBytesPerPhone pins the capacity gate: bytes/phone uses
+// the fractional threshold, not the correctness sanity tolerance.
+func TestCompareGatesBytesPerPhone(t *testing.T) {
+	t.Parallel()
+
+	mk := func(bpp float64) Report {
+		return Report{Schema: schemaVersion, Results: []Result{
+			{Name: "core/population-100k", NsPerOp: 1000, AllocsPerOp: 10, BytesPerPhone: bpp},
+		}}
+	}
+	if problems := compare(mk(100), mk(110), 0.15, 1e-6, nil); len(problems) != 0 {
+		t.Errorf("gate failed on +10%% bytes/phone under a 15%% threshold: %v", problems)
+	}
+	problems := compare(mk(100), mk(120), 0.15, 1e-6, nil)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bytes/phone regressed") {
+		t.Errorf("want one bytes/phone regression, got %v", problems)
+	}
+}
+
+// TestParseTiers pins the -tier flag grammar.
+func TestParseTiers(t *testing.T) {
+	t.Parallel()
+
+	tiers, err := parseTiers("quick,scale")
+	if err != nil || !tiers[tierQuick] || !tiers[tierScale] || tiers[tierNightly] {
+		t.Errorf("parseTiers(quick,scale) = %v, %v", tiers, err)
+	}
+	if all, err := parseTiers(""); err != nil || all != nil {
+		t.Errorf("parseTiers(\"\") = %v, %v, want nil set", all, err)
+	}
+	if _, err := parseTiers("weekly"); err == nil {
+		t.Error("parseTiers accepted an unknown tier")
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/graph"
 	"repro/internal/mms"
 	"repro/internal/response"
 	"repro/internal/rng"
@@ -56,6 +57,11 @@ func run() error {
 		reps       = flag.Int("reps", 10, "replications")
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		population = flag.Int("population", 1000, "number of phones")
+		phones     = flag.Int("phones", 0, "alias of -population (README's scaling quickstart; takes precedence when set)")
+		topology   = flag.String("topology", "powerlaw", "contact topology: powerlaw (paper) or ba (streamed Barabási–Albert, the 10^6-phone path)")
+		baM        = flag.Int("ba-m", 4, "edges each new node attaches with (-topology ba)")
+		shards     = flag.Int("shards", 1, "population shards, each on its own event queue (>1 enables the batched-delivery scale mode)")
+		shardWin   = flag.Duration("shard-window", 0, "cross-shard exchange-barrier interval (0 = horizon/128)")
 		grid       = flag.Int("grid", 100, "time-grid points")
 		chart      = flag.Bool("chart", false, "render a terminal chart")
 		scan       = flag.Duration("scan", 0, "gateway scan activation delay (e.g. 6h; 0 = off)")
@@ -111,6 +117,28 @@ func run() error {
 	}
 	cfg := core.Default(virus.Scenarios()[*virusNum-1])
 	cfg.Population = *population
+	if *phones > 0 {
+		cfg.Population = *phones
+	}
+	switch *topology {
+	case "powerlaw":
+		if *shards > 1 {
+			return fmt.Errorf("-shards needs -topology ba: the power-law generator materializes per-node maps and defeats the scale mode's memory budget")
+		}
+	case "ba":
+		if *baM < 1 {
+			return fmt.Errorf("-ba-m %d must be >= 1", *baM)
+		}
+		n, m := cfg.Population, *baM
+		cfg.CSRBuilder = func(src *rng.Source) (*graph.CSR, error) {
+			return graph.BarabasiAlbertCSR(n, m, src)
+		}
+	default:
+		return fmt.Errorf("unknown -topology %q (want powerlaw or ba)", *topology)
+	}
+	cfg.Shards = *shards
+	cfg.ShardWindow = *shardWin
+	cfg.ShardWorkers = *jobs
 	cfg.Network.DeliveryLossProb = *loss
 	if *hours > 0 {
 		cfg.Horizon = time.Duration(*hours * float64(time.Hour))

@@ -41,6 +41,12 @@ type Config struct {
 	// topology-sensitivity studies). It must return a graph with
 	// Population nodes.
 	GraphBuilder func(src *rng.Source) (*graph.Graph, error)
+	// CSRBuilder, if non-nil, streams the contact topology directly into
+	// CSR form without ever materializing an adjacency-map Graph (see
+	// graph.BarabasiAlbertCSR). This is the 10^5+-phone path, where the
+	// per-node maps would dominate memory. Mutually exclusive with
+	// GraphBuilder; must return a CSR with Population nodes.
+	CSRBuilder func(src *rng.Source) (*graph.CSR, error)
 	// Virus selects the virus scenario.
 	Virus virus.Config
 	// Network holds delivery/read timing and the consent model.
@@ -62,6 +68,23 @@ type Config struct {
 	// called concurrently from parallel replications and must synchronize
 	// any shared state it touches.
 	PostRun func(net *mms.Network)
+
+	// Shards, when > 1, partitions the population into that many contiguous
+	// id ranges, each advanced on its own event queue with batched
+	// cross-shard MMS delivery at window barriers (mms.ShardSet). This is a
+	// scale mode for 10^5+ phones: trajectories match the unsharded model
+	// in distribution but not byte-for-byte, and the features that would
+	// need cross-shard synchronization inside a window — responses, fault
+	// injection, background legitimate traffic, PostRun hooks — are
+	// rejected by Validate. 0 or 1 runs unsharded.
+	Shards int
+	// ShardWindow is the cross-shard exchange-barrier interval. Zero
+	// defaults to Horizon/128 (the cancellation-check slice width).
+	ShardWindow time.Duration
+	// ShardWorkers caps the shard worker pool (GOMAXPROCS when <= 0).
+	// Pure scheduling: the trajectory is identical for any worker count,
+	// so experiment fingerprints exclude it.
+	ShardWorkers int
 }
 
 // Default returns the paper's standard configuration for the given virus:
@@ -106,6 +129,25 @@ func (c Config) Validate() error {
 	}
 	if float64(c.InitialInfected) > c.SusceptibleFraction*float64(c.Population) {
 		return fmt.Errorf("core: %d seeds exceed the susceptible population", c.InitialInfected)
+	}
+	if c.GraphBuilder != nil && c.CSRBuilder != nil {
+		return errors.New("core: GraphBuilder and CSRBuilder are mutually exclusive")
+	}
+	if c.Shards > 1 {
+		switch {
+		case c.Shards > c.Population:
+			return fmt.Errorf("core: %d shards exceed the population", c.Shards)
+		case c.ShardWindow < 0:
+			return errors.New("core: shard window must be non-negative")
+		case len(c.Responses) > 0:
+			return errors.New("core: response mechanisms require an unsharded run")
+		case c.Faults != nil || c.Network.Faults.Active():
+			return errors.New("core: fault injection requires an unsharded run")
+		case c.Network.LegitSendInterval != nil:
+			return errors.New("core: background legitimate traffic requires an unsharded run")
+		case c.PostRun != nil:
+			return errors.New("core: PostRun hooks require an unsharded run")
+		}
 	}
 	if err := c.Virus.Validate(); err != nil {
 		return err
@@ -152,6 +194,13 @@ func RunOnceContext(ctx context.Context, cfg Config, seed uint64) (*Result, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Shards > 1 {
+		sr, err := NewShardedRun(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return sr.Run(ctx)
+	}
 	root := rng.New(seed)
 	graphSrc := root.Stream(1)
 	maskSrc := root.Stream(2)
@@ -160,12 +209,9 @@ func RunOnceContext(ctx context.Context, cfg Config, seed uint64) (*Result, erro
 	respSrcBase := root.Stream(5)
 	seedSrc := root.Stream(6)
 
-	g, err := buildGraph(cfg, graphSrc)
+	topo, err := buildTopology(cfg, graphSrc)
 	if err != nil {
 		return nil, err
-	}
-	if g.N() != cfg.Population {
-		return nil, fmt.Errorf("core: graph has %d nodes, config wants %d", g.N(), cfg.Population)
 	}
 
 	vulnerable := vulnerabilityMask(cfg, maskSrc)
@@ -175,7 +221,7 @@ func RunOnceContext(ctx context.Context, cfg Config, seed uint64) (*Result, erro
 	if cfg.Faults != nil {
 		netCfg.Faults = cfg.Faults
 	}
-	net, err := mms.New(g, vulnerable, netCfg, sim, netSrc)
+	net, err := mms.NewCSR(topo, vulnerable, netCfg, sim, netSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -255,13 +301,37 @@ func runHorizon(ctx context.Context, sim *des.Simulation, horizon time.Duration)
 	}
 }
 
-func buildGraph(cfg Config, src *rng.Source) (*graph.Graph, error) {
-	if cfg.GraphBuilder != nil {
-		return cfg.GraphBuilder(src)
+// buildTopology produces the CSR contact graph, taking the streaming
+// CSRBuilder path when configured and otherwise converting the adjacency-map
+// generator's output. Both paths draw from the same stream, so a CSRBuilder
+// emitting the same edges as a GraphBuilder yields the identical topology.
+func buildTopology(cfg Config, src *rng.Source) (*graph.CSR, error) {
+	if cfg.CSRBuilder != nil {
+		topo, err := cfg.CSRBuilder(src)
+		if err != nil {
+			return nil, err
+		}
+		if topo.N() != cfg.Population {
+			return nil, fmt.Errorf("core: topology has %d nodes, config wants %d", topo.N(), cfg.Population)
+		}
+		return topo, nil
 	}
-	gc := cfg.Graph
-	gc.N = cfg.Population
-	return graph.PowerLaw(gc, src)
+	var g *graph.Graph
+	var err error
+	if cfg.GraphBuilder != nil {
+		g, err = cfg.GraphBuilder(src)
+	} else {
+		gc := cfg.Graph
+		gc.N = cfg.Population
+		g, err = graph.PowerLaw(gc, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if g.N() != cfg.Population {
+		return nil, fmt.Errorf("core: graph has %d nodes, config wants %d", g.N(), cfg.Population)
+	}
+	return graph.FromGraph(g), nil
 }
 
 // vulnerabilityMask randomly designates the susceptible share, mirroring the

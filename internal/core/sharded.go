@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// ShardedRun is a constructed-but-not-yet-executed sharded replication:
+// topology, SoA population, per-shard networks/event queues, and per-shard
+// virus engines, with the initial infections seeded. Construction is split
+// from execution so scale benchmarks can meter them separately (steady-state
+// bytes per phone comes from the construction phase; events per second from
+// the execution phase). RunOnceContext routes Shards > 1 configs through
+// NewShardedRun followed by Run.
+type ShardedRun struct {
+	cfg     Config
+	set     *mms.ShardSet
+	engines []*virus.Engine
+}
+
+// NewShardedRun builds the sharded replication state for (cfg, seed). The
+// random-stream derivation mirrors RunOnceContext exactly — streams 1, 2, 3,
+// 4, and 6 of the seed's root for graph, vulnerability mask, network, virus,
+// and seed choice — and stream names are global phone ids throughout, so the
+// per-phone generators are the ones an unsharded run would derive.
+func NewShardedRun(cfg Config, seed uint64) (*ShardedRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("core: sharded run needs at least 2 shards, got %d", cfg.Shards)
+	}
+	root := rng.New(seed)
+	graphSrc := root.Stream(1)
+	maskSrc := root.Stream(2)
+	netSrc := root.Stream(3)
+	virusSrc := root.Stream(4)
+	seedSrc := root.Stream(6)
+
+	topo, err := buildTopology(cfg, graphSrc)
+	if err != nil {
+		return nil, err
+	}
+	vulnerable := vulnerabilityMask(cfg, maskSrc)
+
+	window := cfg.ShardWindow
+	if window <= 0 {
+		window = cfg.Horizon / horizonSlices
+		if window <= 0 {
+			window = cfg.Horizon
+		}
+	}
+	set, err := mms.NewShardSet(topo, vulnerable, cfg.Network, cfg.Shards, window, netSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	sr := &ShardedRun{cfg: cfg, set: set}
+	for _, net := range set.Shards() {
+		// All shards share virusSrc: engines derive per-phone sender streams
+		// by global id, so the union across shards is exactly the unsharded
+		// engine's stream set.
+		eng, err := virus.Attach(cfg.Virus, net, virusSrc)
+		if err != nil {
+			return nil, err
+		}
+		sr.engines = append(sr.engines, eng)
+	}
+
+	if err := seedShardInfections(cfg, set, vulnerable, seedSrc); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// seedShardInfections mirrors seedInfections, routing each seed to its owner
+// shard. The candidate shuffle consumes the same draws, so the chosen seed
+// phones match the unsharded run's for a given (cfg, seed).
+func seedShardInfections(cfg Config, set *mms.ShardSet, vulnerable []bool, src *rng.Source) error {
+	candidates := make([]mms.PhoneID, 0, len(vulnerable))
+	for i, v := range vulnerable {
+		if v {
+			candidates = append(candidates, mms.PhoneID(i))
+		}
+	}
+	src.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	for i := 0; i < cfg.InitialInfected; i++ {
+		if err := set.SeedInfection(candidates[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardSet exposes the underlying shard set (topology, populations, merged
+// counters). Benchmarks use it to read EventsFired and memory footprints.
+func (sr *ShardedRun) ShardSet() *mms.ShardSet { return sr.set }
+
+// Topology returns the CSR contact graph.
+func (sr *ShardedRun) Topology() *graph.CSR { return sr.set.Population().Topology() }
+
+// Run advances every shard to the horizon (ShardWorkers wide) and assembles
+// the replication Result: the infection curve from the merged per-shard
+// event logs, summed engine and network counters, and the globally merged
+// gateway detection time.
+func (sr *ShardedRun) Run(ctx context.Context) (*Result, error) {
+	if err := sr.set.Run(ctx, sr.cfg.Horizon, sr.cfg.ShardWorkers); err != nil {
+		return nil, err
+	}
+	events := sr.set.InfectionEvents()
+	infections := curve.New(0)
+	for i, ev := range events {
+		// Merged events are sorted by time, so appends are monotone.
+		if err := infections.Append(ev.At, float64(i+1)); err != nil {
+			return nil, fmt.Errorf("core: infection curve at %v: %w", ev.At, err)
+		}
+	}
+	var stats virus.Stats
+	for _, eng := range sr.engines {
+		s := eng.Stats()
+		stats.Activations += s.Activations
+		stats.MessagesAttempted += s.MessagesAttempted
+		stats.MessagesSent += s.MessagesSent
+		stats.SendsDeferred += s.SendsDeferred
+		stats.SendsBlocked += s.SendsBlocked
+		stats.QuotaPauses += s.QuotaPauses
+	}
+	res := &Result{
+		Infections:    infections,
+		FinalInfected: sr.set.InfectedCount(),
+		PeakInfected:  sr.set.InfectedCount(),
+		Network:       sr.set.Metrics(),
+		Engine:        stats,
+		Tree:          sr.set.BuildInfectionTree(),
+	}
+	res.GatewayDetectedAt, res.GatewayDetected = sr.set.Detected()
+	return res, nil
+}
+
+// Horizon returns the configured horizon (convenience for benchmarks that
+// drive Run through a context with their own deadline).
+func (sr *ShardedRun) Horizon() time.Duration { return sr.cfg.Horizon }

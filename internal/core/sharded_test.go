@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/rng"
+	"repro/internal/virus"
+)
+
+// shardedTestConfig is a small-but-nontrivial sharded scenario: a streamed
+// BA topology, the fast Virus 3, several seeds so every shard sees traffic.
+func shardedTestConfig(shards, workers int) Config {
+	cfg := Default(virus.Virus3())
+	cfg.Population = 600
+	cfg.CSRBuilder = func(src *rng.Source) (*graph.CSR, error) {
+		return graph.BarabasiAlbertCSR(600, 4, src)
+	}
+	cfg.InitialInfected = 6
+	cfg.Horizon = 12 * time.Hour
+	cfg.Shards = shards
+	cfg.ShardWindow = 15 * time.Minute
+	cfg.ShardWorkers = workers
+	return cfg
+}
+
+// TestShardedRunDeterministicAcrossWorkerCounts pins the conservative-window
+// protocol's core guarantee: the trajectory is a pure function of (config,
+// seed, shards, window) — pool width cannot perturb it.
+func TestShardedRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
+	var base *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := RunOnce(shardedTestConfig(4, workers), 42)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			if res.FinalInfected <= 6 {
+				t.Fatalf("virus did not spread: final=%d", res.FinalInfected)
+			}
+			continue
+		}
+		if res.FinalInfected != base.FinalInfected {
+			t.Errorf("workers=%d: final=%d, want %d", workers, res.FinalInfected, base.FinalInfected)
+		}
+		if !reflect.DeepEqual(res.Infections.Points(), base.Infections.Points()) {
+			t.Errorf("workers=%d: infection curve diverged", workers)
+		}
+		if res.Network != base.Network {
+			t.Errorf("workers=%d: metrics diverged: %+v vs %+v", workers, res.Network, base.Network)
+		}
+		if res.Engine != base.Engine {
+			t.Errorf("workers=%d: engine stats diverged", workers)
+		}
+		if res.GatewayDetected != base.GatewayDetected || res.GatewayDetectedAt != base.GatewayDetectedAt {
+			t.Errorf("workers=%d: detection diverged", workers)
+		}
+	}
+}
+
+// TestShardedRunShardCountChangesAreExplicit documents that the shard count
+// is part of the trajectory's identity (it is fingerprinted): different
+// shard counts are allowed to differ.
+func TestShardedRunMatchesAcrossRepeatedRuns(t *testing.T) {
+	t.Parallel()
+	a, err := RunOnce(shardedTestConfig(3, 0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnce(shardedTestConfig(3, 0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalInfected != b.FinalInfected || !reflect.DeepEqual(a.Infections.Points(), b.Infections.Points()) {
+		t.Error("repeated sharded runs with identical configs diverged")
+	}
+}
+
+// TestShardedRunReportsDetection checks the merged cross-shard gateway view:
+// with Virus 3 hammering the gateway, detection must fire and carry a
+// positive time.
+func TestShardedRunReportsDetection(t *testing.T) {
+	t.Parallel()
+	res, err := RunOnce(shardedTestConfig(4, 0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GatewayDetected {
+		t.Fatal("gateway never detected a flood-style virus")
+	}
+	if res.GatewayDetectedAt <= 0 || res.GatewayDetectedAt > 12*time.Hour {
+		t.Fatalf("detection time %v outside the horizon", res.GatewayDetectedAt)
+	}
+}
+
+// TestShardedValidationRejections pins the unsharded-only feature gates.
+func TestShardedValidationRejections(t *testing.T) {
+	t.Parallel()
+	check := func(name string, mutate func(*Config)) {
+		cfg := shardedTestConfig(4, 0)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a sharded config that needs unsharded features", name)
+		}
+	}
+	check("responses", func(c *Config) {
+		c.Responses = []mms.ResponseFactory{func() mms.Response { return nil }}
+	})
+	check("legit traffic", func(c *Config) {
+		c.Network.LegitSendInterval = rng.Exponential{MeanD: time.Hour}
+	})
+	check("postrun", func(c *Config) { c.PostRun = func(*mms.Network) {} })
+	check("too many shards", func(c *Config) { c.Shards = c.Population + 1 })
+	check("negative window", func(c *Config) { c.ShardWindow = -time.Second })
+	check("both builders", func(c *Config) {
+		c.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) {
+			return graph.BarabasiAlbert(600, 4, src)
+		}
+	})
+}
+
+// TestShardedRunHonoursContext checks that cancellation between windows
+// aborts the run with the context error attached.
+func TestShardedRunHonoursContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOnceContext(ctx, shardedTestConfig(2, 0), 1); err == nil {
+		t.Fatal("cancelled context did not abort the sharded run")
+	}
+}
+
+// TestShardedDefaultWindow checks that ShardWindow zero picks the documented
+// Horizon/128 default rather than failing.
+func TestShardedDefaultWindow(t *testing.T) {
+	t.Parallel()
+	cfg := shardedTestConfig(2, 0)
+	cfg.ShardWindow = 0
+	if _, err := RunOnce(cfg, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mms"
+	"repro/internal/pool"
 	"repro/internal/response"
 	"repro/internal/virus"
 )
@@ -64,13 +65,13 @@ func RunCombinationMatrix(s Scale, v virus.Config, variants []MechanismVariant, 
 		return nil, 0, fmt.Errorf("experiment: combination matrix needs >= 2 variants")
 	}
 	opts = opts.WithDefaults()
-	p := newPool(opts.Parallelism)
-	defer p.close()
+	p := pool.New(opts.Parallelism)
+	defer p.Close()
 	cache := NewReplicationCache()
 	submit := func(factories ...mms.ResponseFactory) *seriesJob {
 		cfg := s.paperConfig(v)
 		cfg.Responses = factories
-		return p.submitSeries(context.Background(), cache, cfg, opts)
+		return submitSeries(p, context.Background(), cache, cfg, opts)
 	}
 
 	baseJob := submit()

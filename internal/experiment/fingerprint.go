@@ -38,7 +38,7 @@ import (
 // text for an existing config changes meaning, so stale addresses cannot
 // collide with new ones (the cache is in-memory only, but sweeps may
 // outlive many config generations in one process).
-const fingerprintSchema = "1"
+const fingerprintSchema = "2"
 
 // Fingerprint is the content address of a core.Config, or the reason it
 // has none. The zero value is "not cacheable, no reason recorded".
@@ -88,6 +88,9 @@ func ConfigFingerprint(cfg core.Config) Fingerprint {
 
 	if cfg.GraphBuilder != nil {
 		w.opaque("graph-builder func")
+	}
+	if cfg.CSRBuilder != nil {
+		w.opaque("csr-builder func")
 	}
 	w.field("graph.n", strconv.Itoa(cfg.Graph.N))
 	w.field("graph.meandegree", hexFloat(cfg.Graph.MeanDegree))
@@ -145,6 +148,14 @@ func ConfigFingerprint(cfg core.Config) Fingerprint {
 
 	w.field("seeds", strconv.Itoa(cfg.InitialInfected))
 	w.field("horizon", durNS(cfg.Horizon))
+
+	// The shard partition and exchange window shape the trajectory (the
+	// conservative-window protocol clamps cross-shard arrivals to barriers),
+	// so they are part of the address. ShardWorkers is deliberately absent:
+	// pool width is pure scheduling and never perturbs results (pinned by
+	// TestShardedRunDeterministicAcrossWorkerCounts).
+	w.field("shards", strconv.Itoa(cfg.Shards))
+	w.field("shardwindow", durNS(cfg.ShardWindow))
 
 	if cfg.PostRun != nil {
 		w.opaque("post-run hook")

@@ -70,6 +70,8 @@ func TestFingerprintDistinguishesConfigs(t *testing.T) {
 		"legit-traffic": func(c *core.Config) {
 			c.Network.LegitSendInterval = rng.Exponential{MeanD: 25 * time.Minute}
 		},
+		"shards":       func(c *core.Config) { c.Shards = 4 },
+		"shard-window": func(c *core.Config) { c.Shards = 4; c.ShardWindow = time.Hour },
 	}
 	seen := map[string]string{ConfigFingerprint(base()).String(): "base"}
 	for name, mutate := range mutations {
@@ -111,6 +113,9 @@ func TestFingerprintOpaque(t *testing.T) {
 		"graph-builder": {func(c *core.Config) {
 			c.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) { return nil, nil }
 		}, "graph-builder"},
+		"csr-builder": {func(c *core.Config) {
+			c.CSRBuilder = func(src *rng.Source) (*graph.CSR, error) { return nil, nil }
+		}, "csr-builder"},
 		"post-run": {func(c *core.Config) {
 			c.PostRun = func(*mms.Network) {}
 		}, "post-run"},
@@ -153,8 +158,9 @@ func TestFingerprintFieldCoverage(t *testing.T) {
 	}{
 		"core.Config": {reflect.TypeOf(core.Config{}), []string{
 			"Population", "SusceptibleFraction", "Graph", "GraphBuilder",
-			"Virus", "Network", "Responses", "Faults", "InitialInfected",
-			"Horizon", "PostRun",
+			"CSRBuilder", "Virus", "Network", "Responses", "Faults",
+			"InitialInfected", "Horizon", "PostRun", "Shards",
+			"ShardWindow", "ShardWorkers",
 		}},
 		"virus.Config": {reflect.TypeOf(virus.Config{}), []string{
 			"Name", "Targeting", "ContactOrder", "RecipientsPerMessage",

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mms"
+	"repro/internal/pool"
 	"repro/internal/response"
 	"repro/internal/virus"
 )
@@ -88,13 +89,13 @@ func EvaluateReturns(sweep Sweep, kneeFraction float64, opts core.Options) (*Ret
 		return nil, fmt.Errorf("experiment: knee fraction %v outside (0,1)", kneeFraction)
 	}
 	opts = opts.WithDefaults()
-	p := newPool(opts.Parallelism)
-	defer p.close()
+	p := pool.New(opts.Parallelism)
+	defer p.Close()
 	cache := NewReplicationCache()
-	baseJob := p.submitSeries(context.Background(), cache, sweep.Baseline, opts)
+	baseJob := submitSeries(p, context.Background(), cache, sweep.Baseline, opts)
 	pointJobs := make([]*seriesJob, len(sweep.Points))
 	for i, pt := range sweep.Points {
-		pointJobs[i] = p.submitSeries(context.Background(), cache, pt.Config, opts)
+		pointJobs[i] = submitSeries(p, context.Background(), cache, pt.Config, opts)
 	}
 
 	baseRun, err := baseJob.wait()

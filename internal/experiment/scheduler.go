@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 )
 
 // This file is the sweep scheduler: it flattens every (study, series,
@@ -70,8 +70,8 @@ func RunSweep(ctx context.Context, figs []Figure, opts core.Options, so SweepOpt
 		}
 	}
 
-	p := newPool(so.Jobs)
-	defer p.close()
+	p := pool.New(so.Jobs)
+	defer p.Close()
 
 	// Enqueue everything before waiting on anything: the pool sees the
 	// whole matrix at once, so workers drain replications of study N+1
@@ -80,7 +80,7 @@ func RunSweep(ctx context.Context, figs []Figure, opts core.Options, so SweepOpt
 	for fi, fig := range figs {
 		jobs[fi] = make([]*seriesJob, len(fig.Series))
 		for si, s := range fig.Series {
-			jobs[fi][si] = p.submitSeries(ctx, so.Cache, s.Config, opts)
+			jobs[fi][si] = submitSeries(p, ctx, so.Cache, s.Config, opts)
 		}
 	}
 
@@ -133,8 +133,8 @@ type seriesJob struct {
 }
 
 // submitSeries validates cfg, fingerprints it once, and enqueues one task
-// per replication.
-func (p *pool) submitSeries(ctx context.Context, cache *ReplicationCache, cfg core.Config, opts core.Options) *seriesJob {
+// per replication on the shared worker pool.
+func submitSeries(p *pool.Pool, ctx context.Context, cache *ReplicationCache, cfg core.Config, opts core.Options) *seriesJob {
 	opts = opts.WithDefaults()
 	j := &seriesJob{cfg: cfg, opts: opts}
 	if err := cfg.Validate(); err != nil {
@@ -156,7 +156,7 @@ func (p *pool) submitSeries(ctx context.Context, cache *ReplicationCache, cfg co
 	for i := 0; i < opts.Replications; i++ {
 		i := i
 		seed := core.ReplicationSeed(opts.BaseSeed, i)
-		p.submit(func() {
+		p.Submit(func() {
 			defer j.pending.Done()
 			j.results[i], j.errs[i] = cache.run(ctx, cfg, fp, i, seed)
 		})
@@ -172,68 +172,4 @@ func (j *seriesJob) wait() (*core.RunSet, error) {
 	}
 	j.pending.Wait()
 	return core.AssembleRunSet(j.cfg, j.opts, j.results, j.errs)
-}
-
-// pool is a bounded FIFO worker pool. Tasks may be submitted while workers
-// run; close drains the queue and joins the workers.
-type pool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []func()
-	closed bool
-	done   sync.WaitGroup
-}
-
-// newPool starts jobs workers (GOMAXPROCS when jobs <= 0).
-func newPool(jobs int) *pool {
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	p := &pool{}
-	p.cond = sync.NewCond(&p.mu)
-	p.done.Add(jobs)
-	for w := 0; w < jobs; w++ {
-		go p.worker()
-	}
-	return p
-}
-
-func (p *pool) worker() {
-	defer p.done.Done()
-	for {
-		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
-			p.cond.Wait()
-		}
-		if len(p.queue) == 0 {
-			p.mu.Unlock()
-			return
-		}
-		fn := p.queue[0]
-		p.queue = p.queue[1:]
-		p.mu.Unlock()
-		fn()
-	}
-}
-
-// submit enqueues one task. Panics after close (a scheduler bug, not a
-// runtime condition).
-func (p *pool) submit(fn func()) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		panic("experiment: submit on closed pool")
-	}
-	p.queue = append(p.queue, fn)
-	p.mu.Unlock()
-	p.cond.Signal()
-}
-
-// close marks the queue complete, lets workers drain it, and joins them.
-func (p *pool) close() {
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
-	p.done.Wait()
 }

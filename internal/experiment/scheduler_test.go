@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/virus"
 )
 
@@ -131,16 +132,16 @@ func TestSweepCancelledContext(t *testing.T) {
 // copy per replication.
 func TestSubmitSeriesConfigErrorShape(t *testing.T) {
 	t.Parallel()
-	p := newPool(2)
-	defer p.close()
+	p := pool.New(2)
+	defer p.Close()
 	cfg := Scale{Factor: 20}.paperConfig(virus.Virus1())
 	cfg.Population = -1
-	j := p.submitSeries(context.Background(), nil, cfg, core.Options{Replications: 4})
+	j := submitSeries(p, context.Background(), nil, cfg, core.Options{Replications: 4})
 	if _, err := j.wait(); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 
-	quorum := p.submitSeries(context.Background(), nil, Scale{Factor: 20}.paperConfig(virus.Virus1()),
+	quorum := submitSeries(p, context.Background(), nil, Scale{Factor: 20}.paperConfig(virus.Virus1()),
 		core.Options{Replications: 2, MinReplications: 5})
 	if _, err := quorum.wait(); err == nil || !strings.Contains(err.Error(), "salvage quorum") {
 		t.Fatalf("quorum > replications accepted: %v", err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mms"
+	"repro/internal/pool"
 	"repro/internal/response"
 	"repro/internal/rng"
 	"repro/internal/virus"
@@ -80,11 +81,7 @@ func (c *tradeoffCounts) collect(net *mms.Network) {
 			continue
 		}
 		for _, p := range m.FlaggedPhones() {
-			ph := net.Phone(p)
-			if ph == nil {
-				continue
-			}
-			if ph.State == mms.StateInfected {
+			if net.State(p) == mms.StateInfected {
 				truePos++
 			} else {
 				falsePos++
@@ -114,8 +111,8 @@ func RunMonitorTradeoff(tc TradeoffConfig, opts core.Options) ([]TradeoffPoint, 
 	}
 	opts = opts.WithDefaults()
 
-	p := newPool(opts.Parallelism)
-	defer p.close()
+	p := pool.New(opts.Parallelism)
+	defer p.Close()
 	jobs := make([]*seriesJob, len(tc.Thresholds))
 	counts := make([]*tradeoffCounts, len(tc.Thresholds))
 	for ti, threshold := range tc.Thresholds {
@@ -126,7 +123,7 @@ func RunMonitorTradeoff(tc TradeoffConfig, opts core.Options) ([]TradeoffPoint, 
 			response.NewMonitorFull(tc.Window, threshold, tc.ForcedWait),
 		}
 		cfg.PostRun = counts[ti].collect
-		jobs[ti] = p.submitSeries(context.Background(), nil, cfg, opts)
+		jobs[ti] = submitSeries(p, context.Background(), nil, cfg, opts)
 	}
 
 	points := make([]TradeoffPoint, 0, len(tc.Thresholds))

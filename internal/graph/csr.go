@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row adjacency over nodes 0..N-1: node u's
+// sorted neighbor list is targets[offsets[u]:offsets[u+1]]. Two flat uint32
+// slices hold the entire topology — no per-node slice headers, maps, or
+// pointers — so a million-phone contact graph is two allocations and stays
+// cache-friendly when the simulator walks contact lists. Rows are sorted by
+// construction (see CSRBuilder.Finalize); no post-hoc sort ever runs on them.
+type CSR struct {
+	offsets []uint32
+	targets []uint32
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return len(c.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (c *CSR) M() int { return len(c.targets) / 2 }
+
+// Degree returns the degree of node u.
+func (c *CSR) Degree(u int) int {
+	return int(c.offsets[u+1] - c.offsets[u])
+}
+
+// Neighbors returns node u's sorted neighbor row. The slice aliases the CSR's
+// backing array; callers must not modify it.
+func (c *CSR) Neighbors(u int) []uint32 {
+	return c.targets[c.offsets[u]:c.offsets[u+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists, by binary search
+// in u's row.
+func (c *CSR) HasEdge(u, v int) bool {
+	row := c.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= uint32(v) })
+	return i < len(row) && row[i] == uint32(v)
+}
+
+// MeanDegree returns the average degree (0 for an empty graph).
+func (c *CSR) MeanDegree() float64 {
+	if c.N() == 0 {
+		return 0
+	}
+	return float64(len(c.targets)) / float64(c.N())
+}
+
+// Bytes returns the memory footprint of the adjacency arrays.
+func (c *CSR) Bytes() int {
+	return 4 * (len(c.offsets) + len(c.targets))
+}
+
+// Validate checks the CSR invariants: monotone offsets, in-range targets,
+// strictly ascending rows (sorted, no duplicates, no self-loops), and
+// reciprocity. Generators and tests call it; the simulator relies on the
+// invariants without re-checking.
+func (c *CSR) Validate() error {
+	n := c.N()
+	if n < 0 || c.offsets[0] != 0 || int(c.offsets[n]) != len(c.targets) {
+		return errors.New("graph: CSR offsets do not frame the target array")
+	}
+	for u := 0; u < n; u++ {
+		if c.offsets[u] > c.offsets[u+1] {
+			return fmt.Errorf("graph: CSR offsets decrease at node %d", u)
+		}
+		row := c.Neighbors(u)
+		for i, v := range row {
+			if int(v) >= n {
+				return fmt.Errorf("graph: node %d lists out-of-range neighbor %d", u, v)
+			}
+			if int(v) == u {
+				return fmt.Errorf("graph: node %d has a self-loop", u)
+			}
+			if i > 0 && row[i-1] >= v {
+				return fmt.Errorf("graph: node %d row unsorted or duplicated at %d", u, v)
+			}
+			if !c.HasEdge(int(v), u) {
+				return fmt.Errorf("graph: edge {%d,%d} is not reciprocal", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// FromGraph converts a map-free but slice-per-node Graph into CSR form.
+// Graph adjacency is already sorted, so rows copy over verbatim.
+func FromGraph(g *Graph) *CSR {
+	n := g.N()
+	offsets := make([]uint32, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u+1] = offsets[u] + uint32(g.Degree(u))
+	}
+	targets := make([]uint32, offsets[n])
+	for u := 0; u < n; u++ {
+		row := targets[offsets[u]:offsets[u+1]]
+		for i, v := range g.Neighbors(u) {
+			row[i] = uint32(v)
+		}
+	}
+	return &CSR{offsets: offsets, targets: targets}
+}
+
+// CSRBuilder accumulates a streamed sequence of undirected edges and
+// finalizes them into a CSR. The builder holds each edge once as a flat
+// (u, v) pair — never a per-node map or adjacency slice — so generating a
+// million-node topology peaks at a few flat arrays of edge endpoints.
+type CSRBuilder struct {
+	n      int
+	us, vs []uint32
+}
+
+// NewCSRBuilder returns a builder for a graph with n nodes, pre-sizing for
+// edgeCap undirected edges (0 is fine; the edge arrays grow as needed).
+func NewCSRBuilder(n int, edgeCap int) (*CSRBuilder, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative node count")
+	}
+	if n > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: %d nodes exceed the uint32 id space", n)
+	}
+	if edgeCap < 0 {
+		edgeCap = 0
+	}
+	return &CSRBuilder{
+		n:  n,
+		us: make([]uint32, 0, edgeCap),
+		vs: make([]uint32, 0, edgeCap),
+	}, nil
+}
+
+// AddEdge appends the undirected edge {u, v}. Self-loops and out-of-range
+// endpoints are rejected immediately; duplicate edges are detected during
+// Finalize (streaming callers cannot be membership-checked without
+// materializing adjacency, which is exactly what the builder avoids).
+func (b *CSRBuilder) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	b.us = append(b.us, uint32(u))
+	b.vs = append(b.vs, uint32(v))
+	return nil
+}
+
+// Finalize builds the CSR. Rows come out sorted by construction: the 2M
+// directed edges go through two stable counting-sort passes — first by
+// target, then by source — so each node's row is filled in ascending target
+// order without any comparison sort touching the adjacency. Duplicate edges
+// surface as adjacent equal targets and are rejected.
+func (b *CSRBuilder) Finalize() (*CSR, error) {
+	n := b.n
+	m := len(b.us)
+
+	// Pass 1: stable counting sort of all directed edges by target.
+	cnt := make([]uint32, n+1)
+	for i := 0; i < m; i++ {
+		cnt[b.vs[i]]++ // directed (u -> v)
+		cnt[b.us[i]]++ // directed (v -> u)
+	}
+	pos := make([]uint32, n)
+	var acc uint32
+	for t := 0; t < n; t++ {
+		pos[t] = acc
+		acc += cnt[t]
+	}
+	srcByT := make([]uint32, 2*m)
+	tgtByT := make([]uint32, 2*m)
+	for i := 0; i < m; i++ {
+		u, v := b.us[i], b.vs[i]
+		p := pos[v]
+		pos[v]++
+		srcByT[p], tgtByT[p] = u, v
+		p = pos[u]
+		pos[u]++
+		srcByT[p], tgtByT[p] = v, u
+	}
+
+	// Pass 2: stable counting sort by source. The prefix sums are the CSR
+	// offsets; scanning the target-ordered list fills each row in ascending
+	// target order.
+	offsets := make([]uint32, n+1)
+	for i := 0; i < m; i++ {
+		offsets[b.us[i]+1]++
+		offsets[b.vs[i]+1]++
+	}
+	for u := 0; u < n; u++ {
+		offsets[u+1] += offsets[u]
+	}
+	fill := make([]uint32, n)
+	copy(fill, offsets[:n])
+	targets := make([]uint32, 2*m)
+	for j := 0; j < 2*m; j++ {
+		s := srcByT[j]
+		targets[fill[s]] = tgtByT[j]
+		fill[s]++
+	}
+
+	// Sorted rows make duplicate detection a single adjacency scan.
+	for u := 0; u < n; u++ {
+		row := targets[offsets[u]:offsets[u+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i] == row[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", u, row[i])
+			}
+		}
+	}
+	return &CSR{offsets: offsets, targets: targets}, nil
+}

@@ -343,65 +343,119 @@ func ErdosRenyi(n int, p float64, src *rng.Source) (*Graph, error) {
 // with probability proportional to degree. The result has a power-law tail
 // with exponent ~3 and mean degree ~2m.
 func BarabasiAlbert(n, m int, src *rng.Source) (*Graph, error) {
-	if m < 1 {
-		return nil, errors.New("graph: Barabási–Albert needs m >= 1")
-	}
-	if n < m+1 {
-		return nil, fmt.Errorf("graph: Barabási–Albert needs n >= m+1 (n=%d, m=%d)", n, m)
-	}
-	if src == nil {
-		return nil, errors.New("graph: nil rng source")
-	}
 	g, err := NewGraph(n)
 	if err != nil {
 		return nil, err
 	}
+	if err := barabasiAlbertStream(n, m, src, g.AddEdge); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BarabasiAlbertCSR generates the same preferential-attachment topology
+// directly into CSR form: the edge stream feeds a CSRBuilder, so no per-node
+// edge maps or adjacency slices ever materialize. For a fixed source state it
+// consumes exactly the draws BarabasiAlbert consumes and produces the
+// identical graph (pinned by TestCSRMatchesGraphAdjacency).
+func BarabasiAlbertCSR(n, m int, src *rng.Source) (*CSR, error) {
+	edges := m*(m+1)/2 + (n-m-1)*m
+	b, err := NewCSRBuilder(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	if err := barabasiAlbertStream(n, m, src, b.AddEdge); err != nil {
+		return nil, err
+	}
+	return b.Finalize()
+}
+
+// barabasiAlbertStream is the shared Barabási–Albert edge stream: it emits
+// the seed clique, then each new node's attachments in ascending target
+// order. Both the Graph and the CSR builders consume this one stream, which
+// is what guarantees they draw from src identically and wire identical
+// topologies.
+func barabasiAlbertStream(n, m int, src *rng.Source, emit func(u, v int) error) error {
+	if m < 1 {
+		return errors.New("graph: Barabási–Albert needs m >= 1")
+	}
+	if n < m+1 {
+		return fmt.Errorf("graph: Barabási–Albert needs n >= m+1 (n=%d, m=%d)", n, m)
+	}
+	if src == nil {
+		return errors.New("graph: nil rng source")
+	}
 	// Seed clique.
 	for u := 0; u <= m; u++ {
 		for v := u + 1; v <= m; v++ {
-			if err := g.AddEdge(u, v); err != nil {
-				return nil, err
+			if err := emit(u, v); err != nil {
+				return err
 			}
 		}
 	}
-	// Repeated-endpoint list implements preferential attachment in O(1).
+	// Repeated-endpoint list implements preferential attachment in O(1);
+	// every clique node starts with degree m.
 	endpoints := make([]int32, 0, 2*m*n)
 	for u := 0; u <= m; u++ {
-		for range g.Neighbors(u) {
+		for i := 0; i < m; i++ {
 			endpoints = append(endpoints, int32(u))
 		}
 	}
+	// chosen is kept as a small sorted slice: membership tests draw the same
+	// verdicts a set would, and iterating it yields the ascending attach
+	// order directly — no post-hoc sort, and no map iteration order anywhere
+	// near the RNG stream.
+	chosen := make([]int32, 0, m)
 	for u := m + 1; u < n; u++ {
-		chosen := make(map[int]struct{}, m)
+		chosen = chosen[:0]
 		guard := 0
 		for len(chosen) < m && guard < 100*m {
 			guard++
-			v := int(endpoints[src.Intn(len(endpoints))])
-			if v == u {
+			v := endpoints[src.Intn(len(endpoints))]
+			if int(v) == u {
 				continue
 			}
-			if _, dup := chosen[v]; dup {
+			i := sort.Search(len(chosen), func(i int) bool { return chosen[i] >= v })
+			if i < len(chosen) && chosen[i] == v {
 				continue
 			}
-			chosen[v] = struct{}{}
+			chosen = append(chosen, 0)
+			copy(chosen[i+1:], chosen[i:])
+			chosen[i] = v
 		}
-		// Attach in sorted order: ranging the map directly leaked Go's
-		// randomized iteration order into the edge list and the endpoints
-		// slice (which biases every later draw), making the graph differ
-		// run-to-run for a fixed seed.
-		targets := make([]int, 0, len(chosen))
-		for v := range chosen {
-			targets = append(targets, v)
-		}
-		sort.Ints(targets)
-		for _, v := range targets {
-			if err := g.AddEdge(u, v); err != nil {
-				return nil, err
+		for _, v := range chosen {
+			if err := emit(u, int(v)); err != nil {
+				return err
 			}
-			endpoints = append(endpoints, int32(u), int32(v))
+			endpoints = append(endpoints, int32(u), v)
 		}
 	}
-	return g, nil
+	return nil
+}
+
+// RingLatticeCSR generates the k-regular ring lattice (each node linked to
+// its k nearest ring neighbors, k even) directly in CSR form. It is exactly
+// WattsStrogatz(n, k, 0, src) — beta 0 consumes no randomness — built
+// without materializing per-node adjacency.
+func RingLatticeCSR(n, k int) (*CSR, error) {
+	if n <= 0 {
+		return nil, errors.New("graph: ring lattice needs n > 0")
+	}
+	if k <= 0 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("graph: ring lattice needs even 0 < k < n (n=%d, k=%d)", n, k)
+	}
+	b, err := NewCSRBuilder(n, n*k/2)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			if err := b.AddEdge(u, (u+j)%n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Finalize()
 }
 
 // WattsStrogatz generates a small-world ring lattice of n nodes, each linked

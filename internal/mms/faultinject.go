@@ -80,7 +80,7 @@ func (n *Network) fireFault(ev FaultEvent) {
 // PoweredOn reports whether phone id is currently powered on. Phones are
 // always on unless the fault schedule configures churn.
 func (n *Network) PoweredOn(id PhoneID) bool {
-	if id < 0 || int(id) >= len(n.phones) {
+	if !n.pop.valid(id) {
 		return false
 	}
 	return !n.phoneOff(id)
@@ -108,7 +108,7 @@ func churnStreamName(id int) uint64 {
 // powered on; up- and down-times come from each phone's private stream so
 // enabling churn never perturbs user-behaviour or delivery randomness.
 func (n *Network) startChurn() {
-	for i := range n.phones {
+	for i := 0; i < n.pop.N(); i++ {
 		n.schedulePowerOff(PhoneID(i))
 	}
 }
@@ -118,7 +118,7 @@ func (n *Network) startChurn() {
 const churnFloor = time.Second
 
 func (n *Network) schedulePowerOff(id PhoneID) {
-	up := n.faults.Churn.UpTime.Sample(n.churnSrc[id])
+	up := n.faults.Churn.UpTime.Sample(&n.churnSrc[id])
 	if up < churnFloor {
 		up = churnFloor
 	}
@@ -130,7 +130,7 @@ func (n *Network) schedulePowerOff(id PhoneID) {
 }
 
 func (n *Network) powerOff(id PhoneID) {
-	down := n.faults.Churn.DownTime.Sample(n.churnSrc[id])
+	down := n.faults.Churn.DownTime.Sample(&n.churnSrc[id])
 	if down < churnFloor {
 		down = churnFloor
 	}

@@ -74,12 +74,11 @@ func TestOutageQueuesAndDrains(t *testing.T) {
 	if at, _ := net.Gateway().Detected(); at != time.Hour {
 		t.Errorf("detection at %v, want the drain time %v", at, time.Hour)
 	}
-	p := net.Phone(1)
-	if p.State != StateInfected {
-		t.Fatalf("recipient state = %v, want infected", p.State)
+	if got := net.State(1); got != StateInfected {
+		t.Fatalf("recipient state = %v, want infected", got)
 	}
-	if p.InfectedAt < time.Hour {
-		t.Errorf("infection at %v, before the window closed", p.InfectedAt)
+	if got := net.InfectedAt(1); got < time.Hour {
+		t.Errorf("infection at %v, before the window closed", got)
 	}
 	if len(events) != 2 || events[0].Kind != FaultOutageQueued || events[1].Kind != FaultOutageDrained {
 		t.Errorf("fault events = %+v, want queued then drained", events)
@@ -228,12 +227,11 @@ func TestChurnHoldsReadsUntilPowerOn(t *testing.T) {
 	if m.ReadsHeld != 1 {
 		t.Fatalf("reads held = %d, want 1 (metrics %+v)", m.ReadsHeld, m)
 	}
-	p := net.Phone(1)
-	if p.State != StateInfected {
-		t.Fatalf("recipient state = %v, want infected after power-on", p.State)
+	if got := net.State(1); got != StateInfected {
+		t.Fatalf("recipient state = %v, want infected after power-on", got)
 	}
-	if want := 90 * time.Minute; p.InfectedAt != want {
-		t.Errorf("infection at %v, want the power-on instant %v", p.InfectedAt, want)
+	if want := 90 * time.Minute; net.InfectedAt(1) != want {
+		t.Errorf("infection at %v, want the power-on instant %v", net.InfectedAt(1), want)
 	}
 }
 

@@ -39,6 +39,12 @@ type Gateway struct {
 	detected        bool
 	filters         []Filter
 	onDetected      []func(at time.Duration)
+	// obsTimes records the times of the first detectThreshold observations.
+	// A sharded run merges these across shards to recover the global
+	// detection time (the k-th earliest observation overall is always among
+	// the k earliest of some shard); the slice is bounded by the threshold,
+	// so recording stays O(1) memory.
+	obsTimes []time.Duration
 
 	// counters for reports
 	droppedCopies   uint64
@@ -87,6 +93,14 @@ func (g *Gateway) Detected() (time.Duration, bool) {
 // transited the gateway.
 func (g *Gateway) Observed() uint64 { return g.observed }
 
+// ObservationTimes returns the times of the first detectThreshold observed
+// messages (fewer if the gateway saw fewer). The slice is owned by the
+// gateway; callers must not modify it.
+func (g *Gateway) ObservationTimes() []time.Duration { return g.obsTimes }
+
+// DetectThreshold returns the configured detection threshold (floored at 1).
+func (g *Gateway) DetectThreshold() int { return g.detectThreshold }
+
 // Dropped returns the number of recipient copies discarded by filters.
 func (g *Gateway) Dropped() uint64 { return g.droppedCopies }
 
@@ -95,6 +109,9 @@ func (g *Gateway) Dropped() uint64 { return g.droppedCopies }
 // the detectable level is reached.
 func (g *Gateway) Observe(now time.Duration) {
 	g.observed++
+	if len(g.obsTimes) < g.detectThreshold {
+		g.obsTimes = append(g.obsTimes, now)
+	}
 	if !g.detected && g.observed >= uint64(g.detectThreshold) {
 		g.detected = true
 		g.detectedAt = now

@@ -109,21 +109,34 @@ type Metrics struct {
 // Network is the simulated mobile-phone system: phones, gateway, user
 // behaviour, and response-mechanism interception points, all driven by one
 // discrete-event simulation.
+//
+// A Network is a view over a Population. An unsharded run has one Network
+// owning the whole id range; a sharded run (ShardSet) has one Network per
+// shard, each owning a contiguous id slice and exchanging cross-shard
+// deliveries in batches at window barriers.
 type Network struct {
 	sim     *des.Simulation
 	gateway *Gateway
 	cfg     Config
 
-	phones      []Phone
-	userSrc     []*rng.Source // per-phone user-behaviour stream
-	netSrc      *rng.Source   // delivery jitter stream
+	pop *Population
+	// base/count is the contiguous id range this network owns: it is the
+	// only writer of those Population entries while its event queue runs.
+	base, count int
+
+	netSrc      rng.Source // delivery jitter stream
 	controllers []SendController
 	attached    []Response // responses installed via AttachResponse, in order
 
+	// remote, when non-nil, receives recipient copies addressed outside the
+	// owned range instead of local delivery (sharded runs batch them at the
+	// next window barrier). Nil in unsharded runs.
+	remote func(at time.Duration, from, target PhoneID)
+
 	// Fault-injection state (nil/empty when cfg.Faults injects nothing).
 	faults   *faults.Schedule
-	faultSrc *rng.Source     // outage, drain, and backoff randomness
-	churnSrc []*rng.Source   // per-phone power-cycle stream
+	faultSrc rng.Source      // outage, drain, and backoff randomness
+	churnSrc []rng.Source    // per-phone power-cycle stream
 	churnOff []bool          // phone currently powered off
 	churnOn  []time.Duration // next power-on time, valid while off
 
@@ -136,9 +149,6 @@ type Network struct {
 	// trials records (sender, target, day) consent decisions already
 	// granted, for duplicate suppression.
 	trials map[uint64]struct{}
-	// infector records who infected each phone (NoInfector for seeds),
-	// forming the infection tree used for R0 and generation analysis.
-	infector []PhoneID
 }
 
 // NoInfector marks a phone infected by seeding rather than by a message.
@@ -151,53 +161,38 @@ func New(g *graph.Graph, vulnerable []bool, cfg Config, sim *des.Simulation, src
 	if g == nil {
 		return nil, errors.New("mms: nil contact graph")
 	}
+	return NewCSR(graph.FromGraph(g), vulnerable, cfg, sim, src)
+}
+
+// NewCSR builds a network directly over a CSR topology, skipping the
+// slice-per-node Graph representation entirely — the construction path for
+// populations beyond the paper's 1,000 phones.
+func NewCSR(topo *graph.CSR, vulnerable []bool, cfg Config, sim *des.Simulation, src *rng.Source) (*Network, error) {
 	if sim == nil {
 		return nil, errors.New("mms: nil simulation")
 	}
 	if src == nil {
 		return nil, errors.New("mms: nil rng source")
 	}
-	if len(vulnerable) != g.N() {
-		return nil, fmt.Errorf("mms: vulnerability mask length %d != population %d", len(vulnerable), g.N())
-	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := g.N()
-	net := &Network{
-		sim:      sim,
-		gateway:  NewGateway(cfg.GatewayDetectThreshold),
-		cfg:      cfg,
-		phones:   make([]Phone, n),
-		userSrc:  make([]*rng.Source, n),
-		netSrc:   src.Stream(0x6e6574), // "net"
-		trials:   make(map[uint64]struct{}),
-		infector: make([]PhoneID, n),
+	pop, err := NewPopulation(topo, vulnerable, src)
+	if err != nil {
+		return nil, err
 	}
-	for i := range net.infector {
-		net.infector[i] = NoInfector
-	}
-	for i := 0; i < n; i++ {
-		st := StateNotVulnerable
-		if vulnerable[i] {
-			st = StateSusceptible
-		}
-		net.phones[i] = Phone{
-			ID:       PhoneID(i),
-			State:    st,
-			Contacts: g.Neighbors(i),
-		}
-		net.userSrc[i] = src.Stream(0x757372<<16 | uint64(i)) // "usr" | id
-	}
+	net := newShardNetwork(pop, 0, pop.N(), cfg, sim)
+	src.StreamInto(&net.netSrc, 0x6e6574) // "net"
+	n := pop.N()
 	if cfg.Faults.Active() {
 		net.faults = cfg.Faults
-		net.faultSrc = src.Stream(0x666c74) // "flt"
+		src.StreamInto(&net.faultSrc, 0x666c74) // "flt"
 		if cfg.Faults.Churn.Enabled() {
-			net.churnSrc = make([]*rng.Source, n)
+			net.churnSrc = make([]rng.Source, n)
 			net.churnOff = make([]bool, n)
 			net.churnOn = make([]time.Duration, n)
 			for i := 0; i < n; i++ {
-				net.churnSrc[i] = src.Stream(churnStreamName(i))
+				src.StreamInto(&net.churnSrc[i], churnStreamName(i))
 			}
 			net.startChurn()
 		}
@@ -210,11 +205,25 @@ func New(g *graph.Graph, vulnerable []bool, cfg Config, sim *des.Simulation, src
 	return net, nil
 }
 
+// newShardNetwork wires a Network view over pop owning [base, base+count).
+// The caller derives netSrc and any fault state afterwards.
+func newShardNetwork(pop *Population, base, count int, cfg Config, sim *des.Simulation) *Network {
+	return &Network{
+		sim:     sim,
+		gateway: NewGateway(cfg.GatewayDetectThreshold),
+		cfg:     cfg,
+		pop:     pop,
+		base:    base,
+		count:   count,
+		trials:  make(map[uint64]struct{}),
+	}
+}
+
 // scheduleLegitSend arms phone id's next background legitimate message.
 // Delays are floored at one second so a degenerate interval distribution
 // cannot wedge the simulation in a zero-delay event loop.
 func (n *Network) scheduleLegitSend(id PhoneID) {
-	delay := n.cfg.LegitSendInterval.Sample(n.userSrc[id])
+	delay := n.cfg.LegitSendInterval.Sample(&n.pop.userSrc[id])
 	if delay < time.Second {
 		delay = time.Second
 	}
@@ -238,28 +247,82 @@ func (n *Network) Sim() *des.Simulation { return n.sim }
 // Gateway returns the provider's MMS gateway.
 func (n *Network) Gateway() *Gateway { return n.gateway }
 
-// N returns the population size.
-func (n *Network) N() int { return len(n.phones) }
+// N returns the population size (the whole population, not the owned range).
+func (n *Network) N() int { return n.pop.N() }
 
-// Phone returns the phone with the given id, or nil if out of range.
-func (n *Network) Phone(id PhoneID) *Phone {
-	if id < 0 || int(id) >= len(n.phones) {
+// Base returns the first phone id this network owns.
+func (n *Network) Base() int { return n.base }
+
+// OwnedCount returns the number of phones this network owns.
+func (n *Network) OwnedCount() int { return n.count }
+
+// Owns reports whether this network owns phone id's state.
+func (n *Network) Owns(id PhoneID) bool {
+	return int(id) >= n.base && int(id) < n.base+n.count
+}
+
+// State returns phone id's infection state (StateNotVulnerable is also
+// returned for out-of-range ids, which cannot be infected either).
+func (n *Network) State(id PhoneID) State {
+	if !n.pop.valid(id) {
+		return StateNotVulnerable
+	}
+	return n.pop.state[id]
+}
+
+// Contacts returns phone id's sorted contact list (the CSR row). The slice
+// aliases the topology; callers must not modify it. Out-of-range ids have no
+// contacts.
+func (n *Network) Contacts(id PhoneID) []uint32 {
+	if !n.pop.valid(id) {
 		return nil
 	}
-	return &n.phones[id]
+	return n.pop.topo.Neighbors(int(id))
 }
+
+// Patched reports whether the immunization patch is installed on phone id.
+func (n *Network) Patched(id PhoneID) bool {
+	return n.pop.valid(id) && n.pop.patched[id]
+}
+
+// Vulnerable reports whether phone id can still be infected.
+func (n *Network) Vulnerable(id PhoneID) bool {
+	return n.pop.valid(id) && n.pop.vulnerable(id)
+}
+
+// InfectedAt returns phone id's infection time (meaningful when State is
+// StateInfected).
+func (n *Network) InfectedAt(id PhoneID) time.Duration {
+	if !n.pop.valid(id) {
+		return 0
+	}
+	return n.pop.infectedAt[id]
+}
+
+// ReceivedInfected returns how many infected messages phone id's user has
+// read — the n in the paper's acceptance probability AF/2^n.
+func (n *Network) ReceivedInfected(id PhoneID) int {
+	if !n.pop.valid(id) {
+		return 0
+	}
+	return int(n.pop.received[id])
+}
+
+// Population returns the shared SoA phone state.
+func (n *Network) Population() *Population { return n.pop }
 
 // Metrics returns a snapshot of the network counters.
 func (n *Network) Metrics() Metrics { return n.metrics }
 
-// InfectedCount returns the current number of infected phones.
+// InfectedCount returns the number of infected phones in the owned range
+// (the whole population for an unsharded network).
 func (n *Network) InfectedCount() int { return n.infected }
 
-// SusceptibleCount returns the number of phones still vulnerable.
+// SusceptibleCount returns the number of owned phones still vulnerable.
 func (n *Network) SusceptibleCount() int {
 	c := 0
-	for i := range n.phones {
-		if n.phones[i].Vulnerable() {
+	for i := n.base; i < n.base+n.count; i++ {
+		if n.pop.vulnerable(PhoneID(i)) {
 			c++
 		}
 	}
@@ -286,15 +349,15 @@ func (n *Network) AddController(c SendController) {
 	}
 }
 
-// OnInfection registers a callback fired whenever a phone becomes infected
-// (including seed infections).
+// OnInfection registers a callback fired whenever an owned phone becomes
+// infected (including seed infections).
 func (n *Network) OnInfection(fn func(id PhoneID, at time.Duration)) {
 	if fn != nil {
 		n.onInfection = append(n.onInfection, fn)
 	}
 }
 
-// OnPatched registers a callback fired whenever a phone is patched.
+// OnPatched registers a callback fired whenever an owned phone is patched.
 func (n *Network) OnPatched(fn func(id PhoneID, at time.Duration)) {
 	if fn != nil {
 		n.onPatched = append(n.onPatched, fn)
@@ -303,26 +366,26 @@ func (n *Network) OnPatched(fn func(id PhoneID, at time.Duration)) {
 
 // SeedInfection infects the phone immediately, bypassing the consent model;
 // it models the outbreak's patient zero. It fails if the phone cannot be
-// infected.
+// infected or is not owned by this network.
 func (n *Network) SeedInfection(id PhoneID) error {
-	p := n.Phone(id)
-	if p == nil {
+	if !n.pop.valid(id) || !n.Owns(id) {
 		return fmt.Errorf("mms: seed phone %d out of range", id)
 	}
-	if !p.Vulnerable() {
-		return fmt.Errorf("mms: seed phone %d is %v and cannot be infected", id, p.State)
+	if !n.pop.vulnerable(id) {
+		return fmt.Errorf("mms: seed phone %d is %v and cannot be infected", id, n.pop.state[id])
 	}
-	n.infect(p)
+	n.infect(id)
 	return nil
 }
 
-func (n *Network) infect(p *Phone) {
-	p.State = StateInfected
-	p.InfectedAt = n.sim.Now()
+func (n *Network) infect(id PhoneID) {
+	n.pop.state[id] = StateInfected
+	at := n.sim.Now()
+	n.pop.infectedAt[id] = at
 	n.infected++
 	n.metrics.Infections++
 	for _, fn := range n.onInfection {
-		fn(p.ID, p.InfectedAt)
+		fn(id, at)
 	}
 }
 
@@ -330,20 +393,19 @@ func (n *Network) infect(p *Phone) {
 // becomes immune; an infected phone keeps its state but stops disseminating
 // (listeners such as the virus engine observe OnPatched and cease sending).
 func (n *Network) Patch(id PhoneID) error {
-	p := n.Phone(id)
-	if p == nil {
+	if !n.pop.valid(id) {
 		return fmt.Errorf("mms: patch phone %d out of range", id)
 	}
-	if p.Patched {
+	if n.pop.patched[id] {
 		return nil
 	}
-	p.Patched = true
-	if p.State == StateSusceptible {
-		p.State = StateImmune
+	n.pop.patched[id] = true
+	if n.pop.state[id] == StateSusceptible {
+		n.pop.state[id] = StateImmune
 	}
 	n.metrics.Patched++
 	for _, fn := range n.onPatched {
-		fn(p.ID, n.sim.Now())
+		fn(id, n.sim.Now())
 	}
 	return nil
 }
@@ -354,8 +416,7 @@ func (n *Network) Patch(id PhoneID) error {
 // window closes; otherwise it transits the gateway immediately (which may
 // drop it) and deliveries are scheduled for each valid target.
 func (n *Network) Send(from PhoneID, targets []Target) (SendResult, error) {
-	src := n.Phone(from)
-	if src == nil {
+	if !n.pop.valid(from) {
 		return SendResult{}, fmt.Errorf("mms: sender %d out of range", from)
 	}
 	now := n.sim.Now()
@@ -430,7 +491,7 @@ func (n *Network) transit(from PhoneID, targets []Target) (delivered, droppedCop
 		if !t.Valid {
 			continue
 		}
-		if t.ID == from || n.Phone(t.ID) == nil {
+		if t.ID == from || !n.pop.valid(t.ID) {
 			continue
 		}
 		// The gateway fans out one copy per recipient; filters act per copy.
@@ -458,9 +519,9 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 		if n.faults != nil && n.faults.Retry.Enabled() && attempt < n.faults.Retry.MaxAttempts {
 			n.metrics.DeliveryRetries++
 			n.fireFault(FaultEvent{Kind: FaultDeliveryRetry, At: now, Phone: from})
-			backoff := n.faults.Retry.Backoff(attempt+1, n.faultSrc)
+			backoff := n.faults.Retry.Backoff(attempt+1, &n.faultSrc)
 			next := attempt + 1
-			//mvlint:allow hotpath — retry closure allocates once per congestion-lost copy, a rare fault path; the SoA hot-path refactor replaces func-valued handlers with arg-carrying events
+			//mvlint:allow hotpath — retry closure allocates once per congestion-lost copy, a rare fault path disabled entirely in sharded scale runs
 			if _, err := n.sim.ScheduleAfter(backoff, func(*des.Simulation) {
 				n.deliverCopy(from, target, next)
 			}); err == nil {
@@ -473,12 +534,19 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 		return false
 	}
 	n.metrics.Deliveries++
+	// A copy addressed outside the owned range is handed to the shard
+	// exchange: the receiving shard applies the consent pipeline (read cap,
+	// duplicate suppression, read scheduling) at the next window barrier.
+	if n.remote != nil && !n.Owns(target) {
+		n.remote(now+n.cfg.DeliveryDelay.Sample(&n.netSrc), from, target)
+		return true
+	}
 	// Users who have already received readCap infected messages have an
 	// acceptance probability below the generator's resolution (AF/2^64
 	// < 2^-53); their reads can no longer change any state, so the
 	// event is elided. This keeps the event count bounded under the
 	// multi-recipient Virus 2 flood without altering the dynamics.
-	if n.phones[target].ReceivedInfected >= readCap {
+	if n.pop.received[target] >= readCap {
 		return true
 	}
 	// Duplicate suppression: at most one consent trial per sender per
@@ -492,8 +560,8 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 	}
 	// Inboxes need no explicit queue: each message independently
 	// reaches the user after delivery latency plus read delay.
-	delay := n.cfg.DeliveryDelay.Sample(n.netSrc) + n.cfg.ReadDelay.Sample(n.userSrc[target])
-	//mvlint:allow hotpath — one closure per delivered copy is the known per-event allocation the mms BenchmarkSend pin budgets for; the SoA hot-path refactor replaces func-valued handlers with arg-carrying events
+	delay := n.cfg.DeliveryDelay.Sample(&n.netSrc) + n.cfg.ReadDelay.Sample(&n.pop.userSrc[target])
+	//mvlint:allow hotpath — one closure per delivered copy is the known per-event allocation the mms BenchmarkSend pin budgets for
 	if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
 		n.read(target, from)
 	}); err != nil {
@@ -506,10 +574,12 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 const readCap = 64
 
 // trialKey packs (sender, target, day) into a map key for duplicate
-// suppression. Populations and day counts stay far below 2^21.
+// suppression: 24 bits per phone id (populations up to 16.7M) and 16 bits
+// for the day index (horizons up to ~179 years). The key is only ever used
+// for set membership, so the packing never influences event order.
 func trialKey(from, target PhoneID, now time.Duration) uint64 {
-	day := uint64(now / trialPeriod)
-	return uint64(from)<<42 | uint64(target)<<21 | day
+	day := uint64(now/trialPeriod) & 0xffff
+	return uint64(from)<<40 | uint64(target)<<16 | day
 }
 
 // read models the user noticing the message and deciding about the
@@ -519,7 +589,7 @@ func (n *Network) read(id, from PhoneID) {
 	// it once the phone is back on (churn pauses receive activity).
 	if n.phoneOff(id) {
 		n.metrics.ReadsHeld++
-		//mvlint:allow hotpath — hold-until-power-on closure allocates only when churn has the phone off; the SoA hot-path refactor replaces func-valued handlers with arg-carrying events
+		//mvlint:allow hotpath — hold-until-power-on closure allocates only when churn has the phone off
 		if _, err := n.sim.ScheduleAt(n.churnOn[id], func(*des.Simulation) {
 			n.read(id, from)
 		}); err != nil {
@@ -527,27 +597,26 @@ func (n *Network) read(id, from PhoneID) {
 		}
 		return
 	}
-	p := &n.phones[id]
-	p.ReceivedInfected++
+	n.pop.received[id]++
 	n.metrics.Reads++
-	prob := AcceptanceProbability(n.cfg.AcceptanceFactor, p.ReceivedInfected)
-	if !n.userSrc[id].Bool(prob) {
+	prob := AcceptanceProbability(n.cfg.AcceptanceFactor, int(n.pop.received[id]))
+	if !n.pop.userSrc[id].Bool(prob) {
 		return
 	}
 	n.metrics.Acceptances++
-	if p.Vulnerable() {
-		n.infector[id] = from
-		n.infect(p)
+	if n.pop.vulnerable(id) {
+		n.pop.infector[id] = from
+		n.infect(id)
 	}
 }
 
 // Infector returns who infected phone id (NoInfector for seeds or phones
 // never infected).
 func (n *Network) Infector(id PhoneID) PhoneID {
-	if id < 0 || int(id) >= len(n.infector) {
+	if !n.pop.valid(id) {
 		return NoInfector
 	}
-	return n.infector[id]
+	return n.pop.infector[id]
 }
 
 // InfectionTree summarizes the who-infected-whom tree of a run.
@@ -564,17 +633,19 @@ type InfectionTree struct {
 }
 
 // BuildInfectionTree assembles the transmission tree at the current time.
+// The tree spans the whole population (the infector array is shared), so in
+// a sharded run any shard's network builds the same global tree.
 func (n *Network) BuildInfectionTree() InfectionTree {
 	tree := InfectionTree{Children: make(map[PhoneID][]PhoneID)}
 	depth := make(map[PhoneID]int)
 	infectedCount := 0
-	for i := range n.phones {
-		if n.phones[i].State != StateInfected {
+	for i := range n.pop.state {
+		if n.pop.state[i] != StateInfected {
 			continue
 		}
 		infectedCount++
 		id := PhoneID(i)
-		parent := n.infector[i]
+		parent := n.pop.infector[i]
 		if parent == NoInfector {
 			tree.Seeds = append(tree.Seeds, id)
 		} else {

@@ -99,14 +99,17 @@ func TestVulnerabilityMask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if net.Phone(0).State != StateSusceptible || net.Phone(1).State != StateNotVulnerable {
+	if net.State(0) != StateSusceptible || net.State(1) != StateNotVulnerable {
 		t.Error("vulnerability mask not applied")
 	}
 	if got := net.SusceptibleCount(); got != 2 {
 		t.Errorf("SusceptibleCount = %d, want 2", got)
 	}
-	if net.Phone(99) != nil || net.Phone(-1) != nil {
-		t.Error("out-of-range Phone not nil")
+	if net.State(99) != StateNotVulnerable || net.State(-1) != StateNotVulnerable {
+		t.Error("out-of-range phones should read as not-vulnerable")
+	}
+	if net.Contacts(99) != nil || net.Contacts(-1) != nil {
+		t.Error("out-of-range phones should have no contacts")
 	}
 }
 
@@ -154,12 +157,11 @@ func TestSendDeliverReadInfect(t *testing.T) {
 	if net.InfectedCount() != 2 {
 		t.Errorf("InfectedCount = %d, want 2", net.InfectedCount())
 	}
-	p := net.Phone(1)
-	if p.State != StateInfected {
-		t.Errorf("target state = %v", p.State)
+	if got := net.State(1); got != StateInfected {
+		t.Errorf("target state = %v", got)
 	}
-	if p.InfectedAt != 2*time.Second {
-		t.Errorf("InfectedAt = %v, want 2s (1s delivery + 1s read)", p.InfectedAt)
+	if got := net.InfectedAt(1); got != 2*time.Second {
+		t.Errorf("InfectedAt = %v, want 2s (1s delivery + 1s read)", got)
 	}
 	m := net.Metrics()
 	if m.MessagesSent != 1 || m.Deliveries != 1 || m.Reads != 1 || m.Acceptances != 1 || m.Infections != 2 {
@@ -227,7 +229,7 @@ func TestAcceptanceHalving(t *testing.T) {
 			}
 		}
 		sim.Run()
-		if net.Phone(1).State == StateInfected {
+		if net.State(1) == StateInfected {
 			infectedTrials++
 		}
 	}
@@ -255,8 +257,8 @@ func TestNotVulnerablePhoneNeverInfected(t *testing.T) {
 		}
 	}
 	sim.Run()
-	if net.Phone(1).State != StateNotVulnerable {
-		t.Errorf("not-vulnerable phone became %v", net.Phone(1).State)
+	if net.State(1) != StateNotVulnerable {
+		t.Errorf("not-vulnerable phone became %v", net.State(1))
 	}
 	if net.Metrics().Acceptances == 0 {
 		t.Error("user never accepted (AF=2 should accept first read)")
@@ -273,8 +275,8 @@ func TestPatchImmunizesAndStopsInfection(t *testing.T) {
 	if err := net.Patch(1); err != nil {
 		t.Fatal(err)
 	}
-	if net.Phone(1).State != StateImmune {
-		t.Errorf("patched susceptible phone state = %v, want immune", net.Phone(1).State)
+	if net.State(1) != StateImmune {
+		t.Errorf("patched susceptible phone state = %v, want immune", net.State(1))
 	}
 	if len(patched) != 1 || patched[0] != 1 {
 		t.Errorf("patch events = %v", patched)
@@ -295,8 +297,8 @@ func TestPatchImmunizesAndStopsInfection(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim.Run()
-	if net.Phone(1).State != StateImmune {
-		t.Errorf("immune phone became %v", net.Phone(1).State)
+	if net.State(1) != StateImmune {
+		t.Errorf("immune phone became %v", net.State(1))
 	}
 }
 
@@ -310,9 +312,8 @@ func TestPatchInfectedPhoneKeepsState(t *testing.T) {
 	if err := net.Patch(0); err != nil {
 		t.Fatal(err)
 	}
-	p := net.Phone(0)
-	if p.State != StateInfected || !p.Patched {
-		t.Errorf("patched infected phone: state=%v patched=%v", p.State, p.Patched)
+	if net.State(0) != StateInfected || !net.Patched(0) {
+		t.Errorf("patched infected phone: state=%v patched=%v", net.State(0), net.Patched(0))
 	}
 }
 
@@ -512,7 +513,7 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 		// Simple hand-rolled propagation: each infection sends to contacts.
 		net.OnInfection(func(id PhoneID, at time.Duration) {
-			for _, c := range net.Phone(id).Contacts {
+			for _, c := range net.Contacts(id) {
 				target := PhoneID(c)
 				if _, err := sim.ScheduleAfter(time.Minute, func(*des.Simulation) {
 					_, _ = net.Send(id, []Target{ValidTarget(target)})

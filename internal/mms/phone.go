@@ -8,9 +8,12 @@
 // The package simulates only the virus-generated MMS traffic, exactly as the
 // paper's model does; legitimate traffic is represented implicitly through
 // the timing parameters of the stealthy virus scenario.
+//
+// Phone state is held in struct-of-arrays form (Population): parallel flat
+// slices indexed by dense PhoneID, with the contact topology in a shared CSR.
+// There is no per-phone struct and no per-phone pointer, so a million-phone
+// population is a handful of slice allocations.
 package mms
-
-import "time"
 
 // PhoneID identifies a phone in the population; ids are dense in [0, N).
 type PhoneID int32
@@ -21,7 +24,7 @@ type State uint8
 // Phone states. A phone starts Susceptible or NotVulnerable; accepting an
 // infected attachment moves a susceptible phone to Infected; an immunization
 // patch moves a susceptible phone to Immune (an infected phone stays
-// Infected but its Patched flag stops further dissemination).
+// Infected but its patched flag stops further dissemination).
 const (
 	StateSusceptible State = iota + 1
 	StateInfected
@@ -43,29 +46,6 @@ func (s State) String() string {
 	default:
 		return "unknown"
 	}
-}
-
-// Phone is one phone submodel: identity, contact list, infection state, and
-// the per-user counters that drive the consent model.
-type Phone struct {
-	// ID is the phone's identifier.
-	ID PhoneID
-	// State is the current infection state.
-	State State
-	// Contacts is the sorted, reciprocal contact list (graph adjacency).
-	Contacts []int32
-	// ReceivedInfected counts infected messages this phone's user has read;
-	// it is the n in the paper's acceptance probability AF/2^n.
-	ReceivedInfected int
-	// Patched reports whether the immunization patch is installed.
-	Patched bool
-	// InfectedAt is the infection time (valid when State == StateInfected).
-	InfectedAt time.Duration
-}
-
-// Vulnerable reports whether the phone can still be infected.
-func (p *Phone) Vulnerable() bool {
-	return p.State == StateSusceptible && !p.Patched
 }
 
 // Target is one addressee of an MMS message. Viruses that dial random

@@ -1,0 +1,345 @@
+package mms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/graph"
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// RemoteCopy is one recipient copy crossing a shard boundary: it left the
+// sender's gateway at some point during a window and arrives in the target
+// shard's inbox pipeline at At (send time plus delivery latency).
+type RemoteCopy struct {
+	// At is the copy's inbox-arrival time (clamped up to the exchange
+	// barrier if delivery latency would land it inside the closed window).
+	At time.Duration
+	// From is the sending phone.
+	From PhoneID
+	// Target is the receiving phone (owned by another shard).
+	Target PhoneID
+}
+
+// InfectionEvent is one phone's infection, recorded for the global curve.
+type InfectionEvent struct {
+	At time.Duration
+	ID PhoneID
+}
+
+// ShardSet partitions a Population into contiguous id ranges, each advanced
+// by its own Network on its own event queue, with batched cross-shard MMS
+// delivery at fixed window barriers. Within a window, shards run in
+// parallel on a worker pool and touch only their owned state plus their
+// private outbox; at each barrier the coordinator drains all outboxes in a
+// canonical sorted order (arrival time, sender, target) and injects the
+// copies into their owner shards. The trajectory is therefore a pure
+// function of (config, seed, shard count, window) — worker count and
+// scheduling cannot perturb it.
+//
+// Sharding is a scale mode, not a drop-in replacement for the unsharded
+// network: a cross-shard copy whose delivery latency expires mid-window is
+// clamped to the barrier, so trajectories match the unsharded run only in
+// distribution, not byte-for-byte. The paper-scale figures all run
+// unsharded; ShardSet exists for the 10^5–10^7 phone regime where one event
+// queue cannot hold the population.
+type ShardSet struct {
+	cfg    Config
+	pop    *Population
+	nets   []*Network
+	sims   []*des.Simulation
+	bounds []int // len(nets)+1; shard s owns [bounds[s], bounds[s+1])
+	window time.Duration
+
+	// outbox[s] is appended only by shard s's goroutine during a window and
+	// drained only by the coordinator between windows.
+	outbox [][]RemoteCopy
+	// infEvents[s] collects shard s's infections in event order.
+	infEvents [][]InfectionEvent
+}
+
+// NewShardSet builds shards Networks over one shared Population. The
+// features that would need cross-shard synchronization inside a window are
+// rejected: infrastructure faults, churn, and background legitimate traffic
+// are unsharded-only (core.Config.Validate enforces the same restrictions
+// for responses and PostRun hooks).
+func NewShardSet(topo *graph.CSR, vulnerable []bool, cfg Config, shards int, window time.Duration, src *rng.Source) (*ShardSet, error) {
+	if topo == nil {
+		return nil, errors.New("mms: nil contact topology")
+	}
+	if src == nil {
+		return nil, errors.New("mms: nil rng source")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := topo.N()
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("mms: shard count %d outside [1,%d]", shards, n)
+	}
+	if window <= 0 {
+		return nil, errors.New("mms: shard window must be positive")
+	}
+	if cfg.Faults.Active() {
+		return nil, errors.New("mms: fault injection requires an unsharded run")
+	}
+	if cfg.LegitSendInterval != nil {
+		return nil, errors.New("mms: legitimate background traffic requires an unsharded run")
+	}
+	pop, err := NewPopulation(topo, vulnerable, src)
+	if err != nil {
+		return nil, err
+	}
+	ss := &ShardSet{
+		cfg:       cfg,
+		pop:       pop,
+		nets:      make([]*Network, shards),
+		sims:      make([]*des.Simulation, shards),
+		bounds:    make([]int, shards+1),
+		window:    window,
+		outbox:    make([][]RemoteCopy, shards),
+		infEvents: make([][]InfectionEvent, shards),
+	}
+	for s := 0; s <= shards; s++ {
+		ss.bounds[s] = s * n / shards
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		sim := des.New()
+		net := newShardNetwork(pop, ss.bounds[s], ss.bounds[s+1]-ss.bounds[s], cfg, sim)
+		// Per-shard delivery jitter stream: the name family sits between the
+		// unsharded "net" name and the per-phone "usr" family.
+		src.StreamInto(&net.netSrc, 0x6e6574<<16|uint64(s)) // "net" | shard
+		net.remote = func(at time.Duration, from, target PhoneID) {
+			ss.outbox[s] = append(ss.outbox[s], RemoteCopy{At: at, From: from, Target: target})
+		}
+		net.OnInfection(func(id PhoneID, at time.Duration) {
+			ss.infEvents[s] = append(ss.infEvents[s], InfectionEvent{At: at, ID: id})
+		})
+		ss.sims[s] = sim
+		ss.nets[s] = net
+	}
+	return ss, nil
+}
+
+// Shards returns the per-shard networks, in id order. Virus engines attach
+// to each shard's network; infection callbacks fire on the owner shard.
+func (ss *ShardSet) Shards() []*Network { return ss.nets }
+
+// Population returns the shared SoA phone state.
+func (ss *ShardSet) Population() *Population { return ss.pop }
+
+// N returns the population size.
+func (ss *ShardSet) N() int { return ss.pop.N() }
+
+// Window returns the exchange-barrier interval.
+func (ss *ShardSet) Window() time.Duration { return ss.window }
+
+// shardOf returns the shard owning phone id.
+func (ss *ShardSet) shardOf(id PhoneID) int {
+	return sort.Search(len(ss.nets), func(s int) bool { return ss.bounds[s+1] > int(id) })
+}
+
+// SeedInfection infects the phone immediately on its owner shard.
+func (ss *ShardSet) SeedInfection(id PhoneID) error {
+	if !ss.pop.valid(id) {
+		return fmt.Errorf("mms: seed phone %d out of range", id)
+	}
+	return ss.nets[ss.shardOf(id)].SeedInfection(id)
+}
+
+// Run advances every shard to the horizon in lock-step windows on a worker
+// pool of the given width (GOMAXPROCS when <= 0), exchanging cross-shard
+// deliveries at each barrier. ctx is checked between windows; a panic in
+// any shard's event loop propagates as an error carrying the shard index.
+func (ss *ShardSet) Run(ctx context.Context, horizon time.Duration, workers int) error {
+	if horizon <= 0 {
+		return errors.New("mms: horizon must be positive")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := pool.New(workers)
+	defer p.Close()
+	errs := make([]error, len(ss.nets))
+	for t := ss.window; ; t += ss.window {
+		if t > horizon {
+			t = horizon
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mms: sharded run cancelled at t=%v: %w", t-ss.window, err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(ss.nets))
+		barrier := t
+		for s := range ss.nets {
+			s := s
+			p.Submit(func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[s] = fmt.Errorf("mms: shard %d panicked at window %v: %v", s, barrier, r)
+					}
+				}()
+				ss.sims[s].RunUntil(barrier)
+			})
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		ss.exchange(barrier)
+		if t >= horizon {
+			return nil
+		}
+	}
+}
+
+// exchange drains every shard's outbox and injects the copies into their
+// owner shards in canonical (arrival, sender, target) order. It runs on the
+// coordinating goroutine between windows, when no shard event loop is live,
+// so it may touch any shard's state.
+func (ss *ShardSet) exchange(barrier time.Duration) {
+	var batch []RemoteCopy
+	for s := range ss.outbox {
+		batch = append(batch, ss.outbox[s]...)
+		ss.outbox[s] = ss.outbox[s][:0]
+	}
+	if len(batch) == 0 {
+		return
+	}
+	// Stable canonical order decouples the exchange from shard indexing and
+	// scheduling: two copies with equal arrival times inject in (from,
+	// target) order no matter which shard produced them first.
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Target < b.Target
+	})
+	for _, rc := range batch {
+		ss.nets[ss.shardOf(rc.Target)].receiveRemote(rc, barrier)
+	}
+}
+
+// receiveRemote applies one cross-shard copy on the owner network: the
+// arrival clamps up to the barrier (the window it was sent in is already
+// closed), then the standard inbox pipeline runs — read-cap elision,
+// duplicate suppression, read-delay sampling from the target's own user
+// stream — and the read event is scheduled on the owner's queue.
+func (n *Network) receiveRemote(rc RemoteCopy, barrier time.Duration) {
+	arrival := rc.At
+	if arrival < barrier {
+		arrival = barrier
+	}
+	if n.pop.received[rc.Target] >= readCap {
+		return
+	}
+	if !n.cfg.AllowDuplicateTrials {
+		key := trialKey(rc.From, rc.Target, arrival)
+		if _, dup := n.trials[key]; dup {
+			return
+		}
+		n.trials[key] = struct{}{}
+	}
+	delay := n.cfg.ReadDelay.Sample(&n.pop.userSrc[rc.Target])
+	if _, err := n.sim.ScheduleAt(arrival+delay, func(*des.Simulation) {
+		n.read(rc.Target, rc.From)
+	}); err != nil {
+		return
+	}
+}
+
+// InfectedCount sums the infected counts across shards.
+func (ss *ShardSet) InfectedCount() int {
+	c := 0
+	for _, net := range ss.nets {
+		c += net.InfectedCount()
+	}
+	return c
+}
+
+// SusceptibleCount sums the still-vulnerable counts across shards.
+func (ss *ShardSet) SusceptibleCount() int {
+	c := 0
+	for _, net := range ss.nets {
+		c += net.SusceptibleCount()
+	}
+	return c
+}
+
+// EventsFired sums the events executed across all shard queues.
+func (ss *ShardSet) EventsFired() uint64 {
+	var f uint64
+	for _, sim := range ss.sims {
+		f += sim.Fired()
+	}
+	return f
+}
+
+// Metrics merges the per-shard network counters.
+func (ss *ShardSet) Metrics() Metrics {
+	var sum Metrics
+	sv := reflect.ValueOf(&sum).Elem()
+	for _, net := range ss.nets {
+		mv := reflect.ValueOf(net.Metrics())
+		for i := 0; i < sv.NumField(); i++ {
+			sv.Field(i).SetUint(sv.Field(i).Uint() + mv.Field(i).Uint())
+		}
+	}
+	return sum
+}
+
+// Detected reports whether and when the virus reached the provider's
+// detection threshold, merging observations across the per-shard gateway
+// views: detection fires at the k-th earliest observed message overall.
+func (ss *ShardSet) Detected() (time.Duration, bool) {
+	threshold := 1
+	var all []time.Duration
+	for _, net := range ss.nets {
+		g := net.Gateway()
+		if g.DetectThreshold() > threshold {
+			threshold = g.DetectThreshold()
+		}
+		all = append(all, g.ObservationTimes()...)
+	}
+	if len(all) < threshold {
+		return 0, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all[threshold-1], true
+}
+
+// InfectionEvents merges the per-shard infection logs into one sequence
+// sorted by (time, id). Within a shard events are already time-ordered, so
+// the merge is deterministic for any worker count.
+func (ss *ShardSet) InfectionEvents() []InfectionEvent {
+	var all []InfectionEvent
+	for _, ev := range ss.infEvents {
+		all = append(all, ev...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].ID < all[j].ID
+	})
+	return all
+}
+
+// BuildInfectionTree assembles the global transmission tree (the infector
+// array is shared, so any shard's view spans the population).
+func (ss *ShardSet) BuildInfectionTree() InfectionTree {
+	return ss.nets[0].BuildInfectionTree()
+}

@@ -66,7 +66,7 @@ func TestMonitorFalsePositivesOnLegitTraffic(t *testing.T) {
 	sim.RunUntil(24 * time.Hour)
 	falsePositives := 0
 	for _, p := range mon.FlaggedPhones() {
-		if net.Phone(p).State != mms.StateInfected {
+		if net.State(p) != mms.StateInfected {
 			falsePositives++
 		}
 	}

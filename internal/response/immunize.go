@@ -73,8 +73,7 @@ func (im *Immunizer) deploy(n *mms.Network, src *rng.Source) {
 	im.deployStarted = n.Sim().Now()
 	for i := 0; i < n.N(); i++ {
 		id := mms.PhoneID(i)
-		p := n.Phone(id)
-		if p.State == mms.StateNotVulnerable {
+		if n.State(id) == mms.StateNotVulnerable {
 			continue // nothing to patch against
 		}
 		var offset time.Duration

@@ -258,11 +258,11 @@ func TestImmunizerPatchesPopulation(t *testing.T) {
 	if got := net.Metrics().Patched; got != 10 {
 		t.Errorf("patched = %d, want 10", got)
 	}
-	if net.Phone(1).State != mms.StateImmune {
-		t.Errorf("susceptible phone state after patch = %v", net.Phone(1).State)
+	if net.State(1) != mms.StateImmune {
+		t.Errorf("susceptible phone state after patch = %v", net.State(1))
 	}
-	if p := net.Phone(0); p.State != mms.StateInfected || !p.Patched {
-		t.Errorf("infected phone after patch: %v patched=%v", p.State, p.Patched)
+	if net.State(0) != mms.StateInfected || !net.Patched(0) {
+		t.Errorf("infected phone after patch: %v patched=%v", net.State(0), net.Patched(0))
 	}
 }
 

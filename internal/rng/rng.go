@@ -86,6 +86,19 @@ func (s *Source) Stream(name uint64) *Source {
 	return New(h)
 }
 
+// StreamInto derives the same child generator as Stream(name) but writes it
+// into dst instead of allocating. Struct-of-arrays population state keeps one
+// Source value per phone in a flat slice; deriving a million per-phone
+// streams through StreamInto costs zero heap allocations.
+func (s *Source) StreamInto(dst *Source, name uint64) {
+	h := s.s0 ^ bits.RotateLeft64(s.s1, 13) ^ bits.RotateLeft64(s.s2, 29) ^ bits.RotateLeft64(s.s3, 43)
+	h ^= name * 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	dst.reseed(h)
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))

@@ -376,3 +376,42 @@ func TestQuickIntnInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// StreamInto must produce exactly the generator Stream produces, for any
+// parent state and name: the SoA population derives per-phone sources
+// through StreamInto and the legacy path used Stream, so any divergence
+// would break byte-identical determinism.
+func TestStreamIntoMatchesStream(t *testing.T) {
+	t.Parallel()
+
+	parent := New(99)
+	parent.Uint64() // advance to a non-trivial state
+	names := []uint64{0, 1, 0x757372<<16 | 42, 0x6e6574, ^uint64(0)}
+	for _, name := range names {
+		want := parent.Stream(name)
+		var got Source
+		parent.StreamInto(&got, name)
+		if got.State() != want.State() {
+			t.Errorf("StreamInto(%#x) state = %v, Stream = %v", name, got.State(), want.State())
+		}
+		for i := 0; i < 8; i++ {
+			a, b := got.Uint64(), want.Uint64()
+			if a != b {
+				t.Fatalf("StreamInto(%#x) draw %d = %#x, Stream = %#x", name, i, a, b)
+			}
+		}
+	}
+}
+
+// StreamInto must not advance or otherwise perturb the parent.
+func TestStreamIntoLeavesParentUntouched(t *testing.T) {
+	t.Parallel()
+
+	parent := New(7)
+	before := parent.State()
+	var child Source
+	parent.StreamInto(&child, 123)
+	if parent.State() != before {
+		t.Errorf("StreamInto changed parent state %v -> %v", before, parent.State())
+	}
+}

@@ -17,6 +17,11 @@ type Engine struct {
 	net *mms.Network
 	sim *des.Simulation
 
+	// base/states cover the network's owned id range: states[id-base] is
+	// phone id's sender. In an unsharded run base is 0 and states spans the
+	// population; in a sharded run each shard's engine holds only its own
+	// phones' senders.
+	base   int
 	states []senderState
 	stats  Stats
 }
@@ -39,8 +44,8 @@ type Stats struct {
 
 type senderState struct {
 	active       bool
-	src          *rng.Source
-	cursor       int // contact-cycle position
+	src          rng.Source // by value: one allocation for the whole slice
+	cursor       int        // contact-cycle position
 	sentInWindow int
 	windowEnd    time.Duration // QuotaPerPeriod: current window's end
 	pending      des.Handle
@@ -63,10 +68,13 @@ func Attach(cfg Config, net *mms.Network, src *rng.Source) (*Engine, error) {
 		cfg:    cfg,
 		net:    net,
 		sim:    net.Sim(),
-		states: make([]senderState, net.N()),
+		base:   net.Base(),
+		states: make([]senderState, net.OwnedCount()),
 	}
 	for i := range e.states {
-		e.states[i].src = src.Stream(0x766972<<20 | uint64(i)) // "vir" | id
+		// Stream names are global phone ids, so a sharded engine derives
+		// exactly the generators the unsharded engine would for its phones.
+		src.StreamInto(&e.states[i].src, 0x766972<<20|uint64(e.base+i)) // "vir" | id
 	}
 	net.OnInfection(func(id mms.PhoneID, at time.Duration) {
 		e.activate(id)
@@ -85,12 +93,11 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // activate starts the sending campaign of a newly infected phone.
 func (e *Engine) activate(id mms.PhoneID) {
-	st := &e.states[id]
-	if st.active {
+	st := e.state(id)
+	if st == nil || st.active {
 		return
 	}
-	p := e.net.Phone(id)
-	if p == nil || p.Patched {
+	if e.net.Patched(id) {
 		return
 	}
 	st.active = true
@@ -98,11 +105,11 @@ func (e *Engine) activate(id mms.PhoneID) {
 	// Contact lists have no canonical order; start the cycle at a random
 	// position so a quota- or blacklist-truncated campaign hits an
 	// unbiased sample of the list rather than its first entries.
-	if len(p.Contacts) > 0 {
-		st.cursor = st.src.Intn(len(p.Contacts))
+	if deg := len(e.net.Contacts(id)); deg > 0 {
+		st.cursor = st.src.Intn(deg)
 	}
 	now := e.sim.Now()
-	first := e.cfg.Dormancy + e.cfg.wait(st.src)
+	first := e.cfg.Dormancy + e.cfg.wait(&st.src)
 	if e.cfg.Quota == QuotaPerPeriod {
 		st.sentInWindow = 0
 		if e.cfg.PeriodAligned {
@@ -110,7 +117,7 @@ func (e *Engine) activate(id mms.PhoneID) {
 			// joins the population-wide burst at the next boundary.
 			boundary := nextBoundary(now, e.cfg.Period)
 			st.windowEnd = boundary + e.cfg.Period
-			if wait := boundary - now + e.cfg.wait(st.src); wait > first {
+			if wait := boundary - now + e.cfg.wait(&st.src); wait > first {
 				first = wait
 			}
 		} else {
@@ -126,8 +133,8 @@ func (e *Engine) activate(id mms.PhoneID) {
 
 // deactivate permanently stops a phone's sender (patch installed).
 func (e *Engine) deactivate(id mms.PhoneID) {
-	st := &e.states[id]
-	if !st.active {
+	st := e.state(id)
+	if st == nil || !st.active {
 		return
 	}
 	st.active = false
@@ -137,16 +144,24 @@ func (e *Engine) deactivate(id mms.PhoneID) {
 	}
 }
 
+// state returns phone id's sender slot, or nil when this engine does not
+// cover id (another shard's engine does).
+func (e *Engine) state(id mms.PhoneID) *senderState {
+	i := int(id) - e.base
+	if i < 0 || i >= len(e.states) {
+		return nil
+	}
+	return &e.states[i]
+}
+
 // Active reports whether phone id's sender is currently active.
 func (e *Engine) Active(id mms.PhoneID) bool {
-	if int(id) < 0 || int(id) >= len(e.states) {
-		return false
-	}
-	return e.states[id].active
+	st := e.state(id)
+	return st != nil && st.active
 }
 
 func (e *Engine) scheduleSend(id mms.PhoneID, delay time.Duration) {
-	st := &e.states[id]
+	st := e.state(id)
 	if st.pending.Valid() {
 		e.sim.Cancel(st.pending)
 	}
@@ -173,8 +188,8 @@ func nextBoundary(now, period time.Duration) time.Duration {
 }
 
 func (e *Engine) scheduleReboot(id mms.PhoneID) {
-	st := &e.states[id]
-	delay := e.cfg.RebootInterval.Sample(st.src)
+	st := e.state(id)
+	delay := e.cfg.RebootInterval.Sample(&st.src)
 	if _, err := e.sim.ScheduleAfter(delay, func(*des.Simulation) {
 		e.onReboot(id)
 	}); err != nil {
@@ -183,28 +198,30 @@ func (e *Engine) scheduleReboot(id mms.PhoneID) {
 }
 
 func (e *Engine) onReboot(id mms.PhoneID) {
-	st := &e.states[id]
-	if !st.active {
+	st := e.state(id)
+	if st == nil || !st.active {
 		return
 	}
 	wasExhausted := st.sentInWindow >= e.cfg.MessagesPerQuota
 	st.sentInWindow = 0
 	if wasExhausted && !st.pending.Valid() && !st.blocked {
 		// The sender paused on quota; resume after a fresh wait.
-		e.scheduleSend(id, e.cfg.wait(st.src))
+		e.scheduleSend(id, e.cfg.wait(&st.src))
 	}
 	e.scheduleReboot(id)
 }
 
 // sendOnce performs one send attempt for phone id and schedules the next.
 func (e *Engine) sendOnce(id mms.PhoneID) {
-	st := &e.states[id]
+	st := e.state(id)
+	if st == nil {
+		return
+	}
 	st.pending = des.Handle{}
 	if !st.active || st.blocked {
 		return
 	}
-	p := e.net.Phone(id)
-	if p == nil || p.Patched {
+	if e.net.Patched(id) {
 		st.active = false
 		return
 	}
@@ -255,7 +272,7 @@ func (e *Engine) sendOnce(id mms.PhoneID) {
 	case mms.OutcomeSent:
 		e.stats.MessagesSent++
 		st.sentInWindow++
-		e.scheduleSend(id, e.cfg.wait(st.src))
+		e.scheduleSend(id, e.cfg.wait(&st.src))
 	}
 }
 
@@ -264,7 +281,7 @@ func (e *Engine) selectTargets(id mms.PhoneID, st *senderState) []mms.Target {
 	k := e.cfg.RecipientsPerMessage
 	switch e.cfg.Targeting {
 	case TargetContacts:
-		contacts := e.net.Phone(id).Contacts
+		contacts := e.net.Contacts(id)
 		if len(contacts) == 0 {
 			return nil
 		}

@@ -374,7 +374,7 @@ func TestCycleCoversAllContacts(t *testing.T) {
 	sim.RunUntil(6 * time.Minute)
 	// 5 contacts, 5 messages in ~5 minutes: each contact hit exactly once.
 	for id := 1; id < 6; id++ {
-		if got := net.Phone(mms.PhoneID(id)).ReceivedInfected; got != 1 {
+		if got := net.ReceivedInfected(mms.PhoneID(id)); got != 1 {
 			t.Errorf("phone %d received %d messages after one cycle, want 1", id, got)
 		}
 	}
