@@ -52,6 +52,8 @@ import (
 	"repro/internal/des"
 	"repro/internal/experiment"
 	"repro/internal/graph"
+	"repro/internal/mms"
+	"repro/internal/response"
 	"repro/internal/rng"
 	"repro/internal/sanphone"
 	"repro/internal/store"
@@ -146,8 +148,11 @@ func suite() []spec {
 		{"figures/sweep-distributed", tierQuick, benchDistributedSweep},
 		{"store/codec-roundtrip", tierQuick, benchStoreCodec},
 		{"mvlint/self", tierQuick, benchMvlintSelf},
+		{"mms/shard-exchange", tierQuick, benchShardExchange},
 		{"core/population-100k", tierScale, benchPopulation100k},
+		{"core/population-100k-response", tierScale, benchPopulation100kResponse},
 		{"core/population-1m", tierNightly, benchPopulation1M},
+		{"core/population-1m-response", tierNightly, benchPopulation1MResponse},
 	}
 }
 
@@ -218,6 +223,91 @@ func benchPopulation100k(b *testing.B) {
 func benchPopulation1M(b *testing.B) {
 	benchPopulation(b, populationConfig(1_000_000, 32, time.Hour))
 }
+
+// populationResponseConfig layers the paper's strongest mechanism
+// combination — gateway scan, patch immunization, blacklisting — onto the
+// pinned scale scenario, exercising the barrier-merged response path
+// (shared activation times, canonical patch waves, per-shard blacklists)
+// at population scale. Parameters sit inside the short bench horizon so
+// every mechanism activates; the final-infected headline doubles as a
+// determinism pin on the whole sharded response protocol.
+func populationResponseConfig(phones, shards int, horizon time.Duration) core.Config {
+	cfg := populationConfig(phones, shards, horizon)
+	cfg.Responses = []mms.ResponseFactory{
+		response.NewScan(30 * time.Minute),
+		response.NewImmunizer(30*time.Minute, time.Hour),
+		response.NewBlacklist(10),
+	}
+	return cfg
+}
+
+func benchPopulation100kResponse(b *testing.B) {
+	benchPopulation(b, populationResponseConfig(100_000, 8, 2*time.Hour))
+}
+
+func benchPopulation1MResponse(b *testing.B) {
+	benchPopulation(b, populationResponseConfig(1_000_000, 32, time.Hour))
+}
+
+// benchShardExchange isolates the cross-shard hot path: per op, 64 virus
+// messages are sent from shard 0 to a fixed set of shard 1 phones, then one
+// conservative window runs — outbox drain, canonical stable sort, and
+// owner-shard injection — via the serial RunWindow driver (no pool, so the
+// allocation count is scheduling-independent). The small target set
+// saturates the read-cap elision during warmup, leaving a deterministic
+// steady state whose allocs/op must be exactly zero: the flat SoA outbox
+// and the reused merge batch are the point of this entry, and the baseline
+// pins them (any regrowth fails the allocs gate, which allows no slack at
+// a zero baseline).
+func benchShardExchange(b *testing.B) {
+	b.ReportAllocs()
+	const phones = 4096
+	const copiesPerOp = 64
+	const exchangeTargets = 16
+	root := rng.New(1)
+	topo, err := graph.BarabasiAlbertCSR(phones, 4, root.Stream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vulnerable := make([]bool, phones) // reads never infect: pure delivery load
+	cfg := mms.DefaultConfig()
+	cfg.AllowDuplicateTrials = true // dedup map inserts are not the path under test
+	ss, err := mms.NewShardSet(topo, vulnerable, cfg, 2, time.Minute, root.Stream(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sender := ss.Shards()[0]
+	window := ss.Window()
+	barrier := time.Duration(0)
+	targets := make([]mms.Target, 1)
+	op := func() {
+		for k := 0; k < copiesPerOp; k++ {
+			from := mms.PhoneID(k % (phones / 2))
+			targets[0] = mms.ValidTarget(mms.PhoneID(phones/2 + k%exchangeTargets))
+			if _, err := sender.Send(from, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+		barrier += window
+		ss.RunWindow(barrier, barrier+window)
+	}
+	// Warm the outbox and merge buffers and saturate the target read caps,
+	// so the timed region is the steady state.
+	for i := 0; i < 2*exchangeTargets*readCapWarmup/copiesPerOp; i++ {
+		op()
+	}
+	before := ss.Metrics().MessagesSent
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ss.Metrics().MessagesSent-before)/float64(b.N), "messages/op")
+}
+
+// readCapWarmup mirrors mms's per-phone read-event cap (not exported; the
+// warmup only needs an upper bound).
+const readCapWarmup = 64
 
 // benchMvlintSelf measures one full lint run over the module — parse,
 // type-check, call graph, and every rule — so analyzer speed is a pinned

@@ -177,8 +177,11 @@ func TestSuitePinned(t *testing.T) {
 		{"figures/sweep-distributed", tierQuick},
 		{"store/codec-roundtrip", tierQuick},
 		{"mvlint/self", tierQuick},
+		{"mms/shard-exchange", tierQuick},
 		{"core/population-100k", tierScale},
+		{"core/population-100k-response", tierScale},
 		{"core/population-1m", tierNightly},
+		{"core/population-1m-response", tierNightly},
 	}
 	got := suite()
 	if len(got) != len(want) {

@@ -1,6 +1,8 @@
 // Command mvfigures regenerates every figure of the paper (Figures 1-7),
-// the Section 5.3 scaling study, and the Section 6 combined-mechanism
-// extension. For each study it writes a CSV of the aggregated infection
+// the Section 5.3 scaling study, the Section 6 combined-mechanism
+// extension, and the sharded-response study that locks down the
+// conservative-window response protocol (DESIGN.md §15). For each study it
+// writes a CSV of the aggregated infection
 // curves, renders the figure as a terminal chart, and evaluates the paper's
 // in-text quantitative claims.
 //
@@ -56,7 +58,7 @@ func main() {
 
 func run() error {
 	var (
-		figureID = flag.String("figure", "all", "study to run: all, figure1..figure7, scaling, combined")
+		figureID = flag.String("figure", "all", "study to run: all, figure1..figure7, scaling, combined, sharded-response, neg-*")
 		reps     = flag.Int("reps", 10, "replications per series")
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		scale    = flag.Int("scale", 1, "population divisor (1 = paper's 1000 phones)")

@@ -21,6 +21,9 @@ var DefaultHotPathRoots = []string{
 	"des.Simulation.ScheduleAtPriority",
 	"des.Simulation.ScheduleAfter",
 	"des.Simulation.ScheduleAfterPriority",
+	"des.Simulation.ScheduleArgAt",
+	"des.Simulation.ScheduleArgAtPriority",
+	"des.Simulation.ScheduleArgAfter",
 	"des.Simulation.Cancel",
 	// internal/san: per-event activity selection and rate refresh.
 	"san.Execution.fire",
@@ -28,10 +31,16 @@ var DefaultHotPathRoots = []string{
 	"san.Execution.refreshTimed",
 	"san.Execution.onTimedFire",
 	"san.Execution.chooseCase",
-	// internal/mms: per-message delivery.
+	// internal/mms: per-message delivery, plus the sharded cross-shard
+	// exchange (outbox drain + canonical sort + injection) and the
+	// barrier detection merge, which run once per window over batches
+	// proportional to traffic.
 	"mms.Network.transit",
 	"mms.Network.deliverCopy",
 	"mms.Network.read",
+	"mms.ShardSet.exchange",
+	"mms.Network.receiveRemote",
+	"mms.ShardSet.mergeDetection",
 }
 
 // MatchRoot reports whether a call-graph label satisfies a root spec. A

@@ -73,10 +73,12 @@ type Config struct {
 	// id ranges, each advanced on its own event queue with batched
 	// cross-shard MMS delivery at window barriers (mms.ShardSet). This is a
 	// scale mode for 10^5+ phones: trajectories match the unsharded model
-	// in distribution but not byte-for-byte, and the features that would
-	// need cross-shard synchronization inside a window — responses, fault
-	// injection, background legitimate traffic, PostRun hooks — are
-	// rejected by Validate. 0 or 1 runs unsharded.
+	// in distribution but not byte-for-byte. Response mechanisms and
+	// background legitimate traffic run sharded (globally merged response
+	// state advances at window barriers — DESIGN.md §15); the features that
+	// would need cross-shard synchronization inside a window — fault
+	// injection — and PostRun hooks (which receive an unsharded *Network)
+	// are rejected by Validate. 0 or 1 runs unsharded.
 	Shards int
 	// ShardWindow is the cross-shard exchange-barrier interval. Zero
 	// defaults to Horizon/128 (the cancellation-check slice width).
@@ -139,12 +141,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: %d shards exceed the population", c.Shards)
 		case c.ShardWindow < 0:
 			return errors.New("core: shard window must be non-negative")
-		case len(c.Responses) > 0:
-			return errors.New("core: response mechanisms require an unsharded run")
 		case c.Faults != nil || c.Network.Faults.Active():
 			return errors.New("core: fault injection requires an unsharded run")
-		case c.Network.LegitSendInterval != nil:
-			return errors.New("core: background legitimate traffic requires an unsharded run")
 		case c.PostRun != nil:
 			return errors.New("core: PostRun hooks require an unsharded run")
 		}

@@ -42,6 +42,7 @@ func NewShardedRun(cfg Config, seed uint64) (*ShardedRun, error) {
 	maskSrc := root.Stream(2)
 	netSrc := root.Stream(3)
 	virusSrc := root.Stream(4)
+	respSrcBase := root.Stream(5)
 	seedSrc := root.Stream(6)
 
 	topo, err := buildTopology(cfg, graphSrc)
@@ -72,6 +73,20 @@ func NewShardedRun(cfg Config, seed uint64) (*ShardedRun, error) {
 			return nil, err
 		}
 		sr.engines = append(sr.engines, eng)
+	}
+
+	for i, f := range cfg.Responses {
+		if f == nil {
+			return nil, fmt.Errorf("core: response factory %d is nil", i)
+		}
+		r := f()
+		// Stream 5's sub-stream i is the same source the unsharded path
+		// hands mechanism i, so mechanisms that draw in canonical phone
+		// order (the immunizer's deployment offsets) reproduce the
+		// unsharded draw sequence exactly.
+		if err := set.AttachResponse(r, respSrcBase.Stream(uint64(i))); err != nil {
+			return nil, fmt.Errorf("core: attach %s: %w", r.Name(), err)
+		}
 	}
 
 	if err := seedShardInfections(cfg, set, vulnerable, seedSrc); err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/mms"
 	"repro/internal/rng"
@@ -99,30 +100,58 @@ func TestShardedRunReportsDetection(t *testing.T) {
 	}
 }
 
-// TestShardedValidationRejections pins the unsharded-only feature gates.
-func TestShardedValidationRejections(t *testing.T) {
+// TestShardedValidationMatrix pins every cell of the sharded feature
+// matrix: response mechanisms and background legitimate traffic are
+// supported on shards (this PR's un-gating), while fault injection and
+// PostRun hooks — plus the structural misconfigurations — stay rejected.
+func TestShardedValidationMatrix(t *testing.T) {
 	t.Parallel()
-	check := func(name string, mutate func(*Config)) {
+	cases := []struct {
+		name   string
+		accept bool
+		mutate func(*Config)
+	}{
+		{"baseline", true, func(*Config) {}},
+		{"responses", true, func(c *Config) {
+			c.Responses = []mms.ResponseFactory{func() mms.Response { return nil }}
+		}},
+		{"legit traffic", true, func(c *Config) {
+			c.Network.LegitSendInterval = rng.Exponential{MeanD: time.Hour}
+		}},
+		{"responses+legit traffic", true, func(c *Config) {
+			c.Responses = []mms.ResponseFactory{func() mms.Response { return nil }}
+			c.Network.LegitSendInterval = rng.Exponential{MeanD: time.Hour}
+		}},
+		{"fault schedule", false, func(c *Config) {
+			c.Faults = &faults.Schedule{Outages: []faults.Window{{Start: time.Hour, End: 2 * time.Hour}}}
+		}},
+		{"network faults", false, func(c *Config) {
+			c.Network.Faults = &faults.Schedule{Outages: []faults.Window{{Start: time.Hour, End: 2 * time.Hour}}}
+		}},
+		{"postrun", false, func(c *Config) { c.PostRun = func(*mms.Network) {} }},
+		{"responses+faults", false, func(c *Config) {
+			c.Responses = []mms.ResponseFactory{func() mms.Response { return nil }}
+			c.Faults = &faults.Schedule{Outages: []faults.Window{{Start: time.Hour, End: 2 * time.Hour}}}
+		}},
+		{"too many shards", false, func(c *Config) { c.Shards = c.Population + 1 }},
+		{"negative window", false, func(c *Config) { c.ShardWindow = -time.Second }},
+		{"both builders", false, func(c *Config) {
+			c.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) {
+				return graph.BarabasiAlbert(600, 4, src)
+			}
+		}},
+	}
+	for _, tc := range cases {
 		cfg := shardedTestConfig(4, 0)
-		mutate(&cfg)
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("%s: Validate accepted a sharded config that needs unsharded features", name)
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if tc.accept && err != nil {
+			t.Errorf("%s: Validate rejected a supported sharded config: %v", tc.name, err)
+		}
+		if !tc.accept && err == nil {
+			t.Errorf("%s: Validate accepted a sharded config that needs unsharded features", tc.name)
 		}
 	}
-	check("responses", func(c *Config) {
-		c.Responses = []mms.ResponseFactory{func() mms.Response { return nil }}
-	})
-	check("legit traffic", func(c *Config) {
-		c.Network.LegitSendInterval = rng.Exponential{MeanD: time.Hour}
-	})
-	check("postrun", func(c *Config) { c.PostRun = func(*mms.Network) {} })
-	check("too many shards", func(c *Config) { c.Shards = c.Population + 1 })
-	check("negative window", func(c *Config) { c.ShardWindow = -time.Second })
-	check("both builders", func(c *Config) {
-		c.GraphBuilder = func(src *rng.Source) (*graph.Graph, error) {
-			return graph.BarabasiAlbert(600, 4, src)
-		}
-	})
 }
 
 // TestShardedRunHonoursContext checks that cancellation between windows

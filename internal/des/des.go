@@ -26,6 +26,14 @@ import (
 // passes itself so handlers can schedule follow-up events.
 type Handler func(sim *Simulation)
 
+// ArgHandler is a Handler that also receives the uint64 argument the event
+// was scheduled with (ScheduleArgAt). Hot paths that would otherwise
+// allocate a fresh capturing closure per event — one read event per
+// delivered MMS copy, say — instead create one long-lived ArgHandler and
+// pack the per-event state (phone ids, attempt counters) into the argument,
+// making steady-state scheduling allocation-free end to end.
+type ArgHandler func(sim *Simulation, arg uint64)
+
 // Handle identifies a scheduled event so it can be cancelled. The zero
 // Handle is invalid. Handles are generation-counted: once the event fires
 // or is cancelled, the handle goes stale and every later operation through
@@ -41,14 +49,17 @@ type Handle struct {
 func (h Handle) Valid() bool { return h.slot != 0 }
 
 // event is one arena slot. Slots are recycled: gen increments every time
-// the slot is released, invalidating outstanding handles.
+// the slot is released, invalidating outstanding handles. Exactly one of
+// handler/argHandler is set; arg is meaningful only with argHandler.
 type event struct {
-	at       time.Duration
-	seq      uint64 // schedule order; breaks ties FIFO
-	priority int    // lower fires first at equal time
-	heapIdx  int32  // index into Simulation.heap, -1 when not queued
-	gen      uint32
-	handler  Handler
+	at         time.Duration
+	seq        uint64 // schedule order; breaks ties FIFO
+	arg        uint64 // payload passed to argHandler
+	priority   int    // lower fires first at equal time
+	heapIdx    int32  // index into Simulation.heap, -1 when not queued
+	gen        uint32
+	handler    Handler
+	argHandler ArgHandler
 }
 
 // Tracer observes every fired event; install one with Simulation.SetTracer
@@ -108,6 +119,45 @@ func (s *Simulation) ScheduleAtPriority(at time.Duration, priority int, h Handle
 	if at < s.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
 	}
+	slot, ev := s.acquire(at, priority)
+	ev.handler = h
+	return Handle{slot: slot + 1, gen: ev.gen}, nil
+}
+
+// ScheduleArgAt schedules h to fire at absolute virtual time at, carrying
+// arg. It orders identically to ScheduleAt — the handler flavour is
+// invisible to the calendar — so converting a closure-based schedule to an
+// argument-based one cannot perturb any trajectory.
+func (s *Simulation) ScheduleArgAt(at time.Duration, h ArgHandler, arg uint64) (Handle, error) {
+	return s.ScheduleArgAtPriority(at, 0, h, arg)
+}
+
+// ScheduleArgAtPriority is ScheduleArgAt with an explicit priority.
+func (s *Simulation) ScheduleArgAtPriority(at time.Duration, priority int, h ArgHandler, arg uint64) (Handle, error) {
+	if h == nil {
+		return Handle{}, errors.New("des: nil handler")
+	}
+	if at < s.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	slot, ev := s.acquire(at, priority)
+	ev.argHandler = h
+	ev.arg = arg
+	return Handle{slot: slot + 1, gen: ev.gen}, nil
+}
+
+// ScheduleArgAfter schedules h to fire delay after the current time,
+// carrying arg. Negative delays are clamped to zero like ScheduleAfter.
+func (s *Simulation) ScheduleArgAfter(delay time.Duration, h ArgHandler, arg uint64) (Handle, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleArgAtPriority(s.now+delay, 0, h, arg)
+}
+
+// acquire reserves an arena slot for a new event at (at, priority) and
+// enqueues it. The caller fills in the handler flavour.
+func (s *Simulation) acquire(at time.Duration, priority int) (uint32, *event) {
 	var slot uint32
 	if n := len(s.free); n > 0 {
 		slot = s.free[n-1]
@@ -121,11 +171,10 @@ func (s *Simulation) ScheduleAtPriority(at time.Duration, priority int, h Handle
 	ev.at = at
 	ev.seq = s.nextSeq
 	ev.priority = priority
-	ev.handler = h
 	ev.heapIdx = int32(len(s.heap))
 	s.heap = append(s.heap, slot)
 	s.siftUp(len(s.heap) - 1)
-	return Handle{slot: slot + 1, gen: ev.gen}, nil
+	return slot, ev
 }
 
 // ScheduleAfter schedules h to fire delay after the current time. Negative
@@ -172,6 +221,7 @@ func (s *Simulation) release(slot uint32) {
 	ev := &s.arena[slot]
 	ev.gen++
 	ev.handler = nil
+	ev.argHandler = nil
 	ev.heapIdx = -1
 	s.free = append(s.free, slot)
 }
@@ -187,7 +237,8 @@ func (s *Simulation) step() bool {
 	}
 	slot := s.heap[0]
 	ev := &s.arena[slot]
-	at, seq, h := ev.at, ev.seq, ev.handler
+	at, seq := ev.at, ev.seq
+	h, argH, arg := ev.handler, ev.argHandler, ev.arg
 	s.removeAt(0)
 	// Release before running the handler: by the time user code executes,
 	// the handle is stale and the slot is reusable, so a handler that
@@ -198,7 +249,11 @@ func (s *Simulation) step() bool {
 	if s.tracer != nil {
 		s.tracer.Fired(at, seq)
 	}
-	h(s)
+	if argH != nil {
+		argH(s, arg)
+	} else {
+		h(s)
+	}
 	return true
 }
 

@@ -43,8 +43,8 @@ func TestFigureDefinitionsComplete(t *testing.T) {
 		}
 	}
 	studies := AllStudies(FullScale)
-	if len(studies) != 14 {
-		t.Errorf("got %d studies, want 14 (7 figures + scaling + combined + 5 negative)", len(studies))
+	if len(studies) != 15 {
+		t.Errorf("got %d studies, want 15 (7 figures + scaling + combined + sharded-response + 5 negative)", len(studies))
 	}
 	seen := make(map[string]bool, len(studies))
 	for _, f := range studies {

@@ -254,6 +254,43 @@ func CombinedStudy(s Scale) Figure {
 	return fig
 }
 
+// ShardedResponseStudy locks down the sharded response path end to end
+// (DESIGN.md §15): Virus 3 on a 4-shard population, unmitigated and under
+// the paper's strongest mechanism stack. The populations and mechanisms
+// mirror unsharded studies, so the curves double as a visual check that
+// barrier-merged responses behave like their unsharded counterparts; the
+// committed CSV is regenerated and diffed by nightly CI, pinning the whole
+// sharded protocol — canonical exchange order, merged detection, armed
+// activation, canonical patch waves — at figure granularity.
+func ShardedResponseStudy(s Scale) Figure {
+	fig := Figure{
+		ID:     "sharded-response",
+		Title:  "DESIGN.md §15: Response Mechanisms on the Sharded Path (Virus 3, 4 shards)",
+		XLabel: "Hours",
+		YLabel: "Infection Count",
+	}
+	shard := func(cfg core.Config) core.Config {
+		cfg.Shards = 4
+		cfg.ShardWindow = 15 * time.Minute
+		return cfg
+	}
+	base := shard(s.paperConfig(virus.Virus3()))
+	scanOnly := shard(s.paperConfig(virus.Virus3()))
+	scanOnly.Responses = []mms.ResponseFactory{response.NewScan(6 * time.Hour)}
+	stacked := shard(s.paperConfig(virus.Virus3()))
+	stacked.Responses = []mms.ResponseFactory{
+		response.NewScan(6 * time.Hour),
+		response.NewImmunizer(24*time.Hour, 6*time.Hour),
+		response.NewBlacklist(10),
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "Baseline (4 shards)", Config: base},
+		Series{Label: "Scan 6h (4 shards)", Config: scanOnly},
+		Series{Label: "Scan + Immunize + Blacklist (4 shards)", Config: stacked},
+	)
+	return fig
+}
+
 // AllFigures returns every paper figure in order.
 func AllFigures(s Scale) []Figure {
 	return []Figure{
@@ -265,6 +302,6 @@ func AllFigures(s Scale) []Figure {
 // AllStudies returns the figures plus the scaling and combined studies and
 // the negative-result reproductions.
 func AllStudies(s Scale) []Figure {
-	studies := append(AllFigures(s), ScalingStudy(s), CombinedStudy(s))
+	studies := append(AllFigures(s), ScalingStudy(s), CombinedStudy(s), ShardedResponseStudy(s))
 	return append(studies, NegativeStudies(s)...)
 }

@@ -37,8 +37,12 @@ import (
 // fingerprintSchema versions the encoding: bump it whenever the canonical
 // text for an existing config changes meaning, so stale addresses cannot
 // collide with new ones (the cache is in-memory only, but sweeps may
-// outlive many config generations in one process).
-const fingerprintSchema = "2"
+// outlive many config generations in one process). Schema 3: responses
+// (and background legitimate traffic) now run on the sharded path, so a
+// sharded config with responses denotes a real trajectory rather than a
+// validation error — and one computed under different barrier semantics
+// than any schema-2 address.
+const fingerprintSchema = "3"
 
 // Fingerprint is the content address of a core.Config, or the reason it
 // has none. The zero value is "not cacheable, no reason recorded".

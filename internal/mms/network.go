@@ -128,6 +128,15 @@ type Network struct {
 	controllers []SendController
 	attached    []Response // responses installed via AttachResponse, in order
 
+	// Long-lived des.ArgHandlers for the per-copy event flavours. One read
+	// event fires per delivered MMS copy at million-phone scale; routing
+	// them through a shared handler with the phone ids packed into the
+	// event argument keeps the delivery hot path free of per-event closure
+	// allocations (the pre-PR-10 design allocated one closure per copy).
+	readH  des.ArgHandler // arg = packArg(target, from, 0)
+	retryH des.ArgHandler // arg = packArg(from, target, attempt)
+	legitH des.ArgHandler // arg = phone id
+
 	// remote, when non-nil, receives recipient copies addressed outside the
 	// owned range instead of local delivery (sharded runs batch them at the
 	// next window barrier). Nil in unsharded runs.
@@ -208,7 +217,7 @@ func NewCSR(topo *graph.CSR, vulnerable []bool, cfg Config, sim *des.Simulation,
 // newShardNetwork wires a Network view over pop owning [base, base+count).
 // The caller derives netSrc and any fault state afterwards.
 func newShardNetwork(pop *Population, base, count int, cfg Config, sim *des.Simulation) *Network {
-	return &Network{
+	n := &Network{
 		sim:     sim,
 		gateway: NewGateway(cfg.GatewayDetectThreshold),
 		cfg:     cfg,
@@ -217,6 +226,24 @@ func newShardNetwork(pop *Population, base, count int, cfg Config, sim *des.Simu
 		count:   count,
 		trials:  make(map[uint64]struct{}),
 	}
+	n.readH = func(_ *des.Simulation, arg uint64) {
+		n.read(PhoneID(arg>>40&argIDMask), PhoneID(arg>>16&argIDMask))
+	}
+	n.retryH = func(_ *des.Simulation, arg uint64) {
+		n.deliverCopy(PhoneID(arg>>40&argIDMask), PhoneID(arg>>16&argIDMask), int(uint16(arg)))
+	}
+	n.legitH = func(_ *des.Simulation, arg uint64) { n.legitSend(PhoneID(arg)) }
+	return n
+}
+
+// argIDMask bounds phone ids packed into event arguments: 24 bits per id,
+// the same population ceiling trialKey already imposes (16.7M phones).
+const argIDMask = 0xffffff
+
+// packArg packs two phone ids and 16 bits of extra state into one event
+// argument for the shared ArgHandlers.
+func packArg(a, b PhoneID, extra uint16) uint64 {
+	return uint64(uint32(a)&argIDMask)<<40 | uint64(uint32(b)&argIDMask)<<16 | uint64(extra)
 }
 
 // scheduleLegitSend arms phone id's next background legitimate message.
@@ -227,18 +254,23 @@ func (n *Network) scheduleLegitSend(id PhoneID) {
 	if delay < time.Second {
 		delay = time.Second
 	}
-	if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
-		n.metrics.LegitSent++
-		now := n.sim.Now()
-		for _, c := range n.controllers {
-			if obs, ok := c.(LegitTrafficObserver); ok {
-				obs.OnLegitSent(id, now)
-			}
-		}
-		n.scheduleLegitSend(id)
-	}); err != nil {
+	if _, err := n.sim.ScheduleArgAfter(delay, n.legitH, uint64(uint32(id))); err != nil {
 		return
 	}
+}
+
+// legitSend fires one background legitimate message from id and re-arms the
+// next: only LegitTrafficObserver controllers see it, mirroring the paper's
+// model that does not track legitimate deliveries.
+func (n *Network) legitSend(id PhoneID) {
+	n.metrics.LegitSent++
+	now := n.sim.Now()
+	for _, c := range n.controllers {
+		if obs, ok := c.(LegitTrafficObserver); ok {
+			obs.OnLegitSent(id, now)
+		}
+	}
+	n.scheduleLegitSend(id)
 }
 
 // Sim returns the underlying simulation (responses use it for timers).
@@ -520,11 +552,7 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 			n.metrics.DeliveryRetries++
 			n.fireFault(FaultEvent{Kind: FaultDeliveryRetry, At: now, Phone: from})
 			backoff := n.faults.Retry.Backoff(attempt+1, &n.faultSrc)
-			next := attempt + 1
-			//mvlint:allow hotpath — retry closure allocates once per congestion-lost copy, a rare fault path disabled entirely in sharded scale runs
-			if _, err := n.sim.ScheduleAfter(backoff, func(*des.Simulation) {
-				n.deliverCopy(from, target, next)
-			}); err == nil {
+			if _, err := n.sim.ScheduleArgAfter(backoff, n.retryH, packArg(from, target, uint16(attempt+1))); err == nil {
 				return false
 			}
 			// A failed schedule falls through to a permanent loss.
@@ -561,10 +589,7 @@ func (n *Network) deliverCopy(from, target PhoneID, attempt int) bool {
 	// Inboxes need no explicit queue: each message independently
 	// reaches the user after delivery latency plus read delay.
 	delay := n.cfg.DeliveryDelay.Sample(&n.netSrc) + n.cfg.ReadDelay.Sample(&n.pop.userSrc[target])
-	//mvlint:allow hotpath — one closure per delivered copy is the known per-event allocation the mms BenchmarkSend pin budgets for
-	if _, err := n.sim.ScheduleAfter(delay, func(*des.Simulation) {
-		n.read(target, from)
-	}); err != nil {
+	if _, err := n.sim.ScheduleArgAfter(delay, n.readH, packArg(target, from, 0)); err != nil {
 		return false
 	}
 	return true
@@ -589,10 +614,7 @@ func (n *Network) read(id, from PhoneID) {
 	// it once the phone is back on (churn pauses receive activity).
 	if n.phoneOff(id) {
 		n.metrics.ReadsHeld++
-		//mvlint:allow hotpath — hold-until-power-on closure allocates only when churn has the phone off
-		if _, err := n.sim.ScheduleAt(n.churnOn[id], func(*des.Simulation) {
-			n.read(id, from)
-		}); err != nil {
+		if _, err := n.sim.ScheduleArgAt(n.churnOn[id], n.readH, packArg(id, from, 0)); err != nil {
 			return
 		}
 		return

@@ -15,23 +15,61 @@ import (
 	"repro/internal/rng"
 )
 
-// RemoteCopy is one recipient copy crossing a shard boundary: it left the
-// sender's gateway at some point during a window and arrives in the target
-// shard's inbox pipeline at At (send time plus delivery latency).
-type RemoteCopy struct {
-	// At is the copy's inbox-arrival time (clamped up to the exchange
-	// barrier if delivery latency would land it inside the closed window).
-	At time.Duration
-	// From is the sending phone.
-	From PhoneID
-	// Target is the receiving phone (owned by another shard).
-	Target PhoneID
-}
-
 // InfectionEvent is one phone's infection, recorded for the global curve.
 type InfectionEvent struct {
 	At time.Duration
 	ID PhoneID
+}
+
+// remoteBuf is one shard's cross-shard outbox in SoA form: a copy i left
+// the sender's gateway during the window and arrives in the target shard's
+// inbox pipeline at at[i] (send time plus delivery latency; clamped up to
+// the exchange barrier on injection). Phone ids are uint32 columns rather
+// than a slice of structs, so the buffers are reused across windows with
+// zero steady-state allocation and no per-element padding.
+type remoteBuf struct {
+	at     []time.Duration
+	from   []uint32
+	target []uint32
+}
+
+func (b *remoteBuf) push(at time.Duration, from, target PhoneID) {
+	b.at = append(b.at, at)
+	b.from = append(b.from, uint32(from))
+	b.target = append(b.target, uint32(target))
+}
+
+func (b *remoteBuf) reset() {
+	b.at = b.at[:0]
+	b.from = b.from[:0]
+	b.target = b.target[:0]
+}
+
+// exchangeBatch is the coordinator's merged view of all outboxes, reused
+// across windows. It implements sort.Interface over the canonical
+// (arrival, sender, target) order; sort.Stable on the stored value sorts
+// the three columns in place without the reflect-based swapper (and the
+// per-window closure) that sort.SliceStable would allocate.
+type exchangeBatch struct {
+	remoteBuf
+}
+
+func (b *exchangeBatch) Len() int { return len(b.at) }
+
+func (b *exchangeBatch) Less(i, j int) bool {
+	if b.at[i] != b.at[j] {
+		return b.at[i] < b.at[j]
+	}
+	if b.from[i] != b.from[j] {
+		return b.from[i] < b.from[j]
+	}
+	return b.target[i] < b.target[j]
+}
+
+func (b *exchangeBatch) Swap(i, j int) {
+	b.at[i], b.at[j] = b.at[j], b.at[i]
+	b.from[i], b.from[j] = b.from[j], b.from[i]
+	b.target[i], b.target[j] = b.target[j], b.target[i]
 }
 
 // ShardSet partitions a Population into contiguous id ranges, each advanced
@@ -40,16 +78,19 @@ type InfectionEvent struct {
 // parallel on a worker pool and touch only their owned state plus their
 // private outbox; at each barrier the coordinator drains all outboxes in a
 // canonical sorted order (arrival time, sender, target) and injects the
-// copies into their owner shards. The trajectory is therefore a pure
-// function of (config, seed, shard count, window) — worker count and
-// scheduling cannot perturb it.
+// copies into their owner shards, then runs the barrier synchronization
+// that response mechanisms hook (merged gateway detection, patch waves —
+// see shardresponse.go). The trajectory is therefore a pure function of
+// (config, seed, shard count, window) — worker count and scheduling cannot
+// perturb it.
 //
 // Sharding is a scale mode, not a drop-in replacement for the unsharded
 // network: a cross-shard copy whose delivery latency expires mid-window is
-// clamped to the barrier, so trajectories match the unsharded run only in
-// distribution, not byte-for-byte. The paper-scale figures all run
-// unsharded; ShardSet exists for the 10^5–10^7 phone regime where one event
-// queue cannot hold the population.
+// clamped to the barrier, and globally merged response state advances only
+// at barriers, so trajectories match the unsharded run only in
+// distribution, not byte-for-byte (DESIGN.md §15). The paper-scale figures
+// all run unsharded; ShardSet exists for the 10^5–10^7 phone regime where
+// one event queue cannot hold the population.
 type ShardSet struct {
 	cfg    Config
 	pop    *Population
@@ -60,16 +101,37 @@ type ShardSet struct {
 
 	// outbox[s] is appended only by shard s's goroutine during a window and
 	// drained only by the coordinator between windows.
-	outbox [][]RemoteCopy
+	outbox []remoteBuf
+	// batch is the reused coordinator-side merge buffer for exchange.
+	batch exchangeBatch
 	// infEvents[s] collects shard s's infections in event order.
 	infEvents [][]InfectionEvent
+
+	// Window-loop state reused across windows so Run allocates nothing per
+	// barrier: winFns are the per-shard window thunks submitted to the
+	// pool, reading winBarrier (written by the coordinator before each
+	// submission round, ordered by the pool's queue lock).
+	winFns     []func()
+	winBarrier time.Duration
+	winErrs    []error
+	winWG      sync.WaitGroup
+
+	// Response-mechanism state (shardresponse.go): mechanisms attached via
+	// AttachResponse, barrier hooks, and the merged gateway detection view.
+	responses  []Response
+	onDetected []func(at time.Duration)
+	onBarrier  []func(barrier, next time.Duration)
+	detected   bool
+	detectedAt time.Duration
+	detScratch []time.Duration // reused merge buffer for mergeDetection
 }
 
-// NewShardSet builds shards Networks over one shared Population. The
-// features that would need cross-shard synchronization inside a window are
-// rejected: infrastructure faults, churn, and background legitimate traffic
-// are unsharded-only (core.Config.Validate enforces the same restrictions
-// for responses and PostRun hooks).
+// NewShardSet builds shards Networks over one shared Population. The one
+// feature that would need cross-shard synchronization inside a window is
+// rejected: infrastructure faults (outage windows and churn mutate global
+// MMSC state mid-window) are unsharded-only. Response mechanisms attach
+// via AttachResponse; background legitimate traffic schedules per shard on
+// the owned ranges.
 func NewShardSet(topo *graph.CSR, vulnerable []bool, cfg Config, shards int, window time.Duration, src *rng.Source) (*ShardSet, error) {
 	if topo == nil {
 		return nil, errors.New("mms: nil contact topology")
@@ -90,9 +152,6 @@ func NewShardSet(topo *graph.CSR, vulnerable []bool, cfg Config, shards int, win
 	if cfg.Faults.Active() {
 		return nil, errors.New("mms: fault injection requires an unsharded run")
 	}
-	if cfg.LegitSendInterval != nil {
-		return nil, errors.New("mms: legitimate background traffic requires an unsharded run")
-	}
 	pop, err := NewPopulation(topo, vulnerable, src)
 	if err != nil {
 		return nil, err
@@ -104,8 +163,10 @@ func NewShardSet(topo *graph.CSR, vulnerable []bool, cfg Config, shards int, win
 		sims:      make([]*des.Simulation, shards),
 		bounds:    make([]int, shards+1),
 		window:    window,
-		outbox:    make([][]RemoteCopy, shards),
+		outbox:    make([]remoteBuf, shards),
 		infEvents: make([][]InfectionEvent, shards),
+		winFns:    make([]func(), shards),
+		winErrs:   make([]error, shards),
 	}
 	for s := 0; s <= shards; s++ {
 		ss.bounds[s] = s * n / shards
@@ -118,11 +179,29 @@ func NewShardSet(topo *graph.CSR, vulnerable []bool, cfg Config, shards int, win
 		// unsharded "net" name and the per-phone "usr" family.
 		src.StreamInto(&net.netSrc, 0x6e6574<<16|uint64(s)) // "net" | shard
 		net.remote = func(at time.Duration, from, target PhoneID) {
-			ss.outbox[s] = append(ss.outbox[s], RemoteCopy{At: at, From: from, Target: target})
+			ss.outbox[s].push(at, from, target)
 		}
 		net.OnInfection(func(id PhoneID, at time.Duration) {
 			ss.infEvents[s] = append(ss.infEvents[s], InfectionEvent{At: at, ID: id})
 		})
+		if cfg.LegitSendInterval != nil {
+			// Background legitimate traffic is shard-local by construction:
+			// each owned phone's sends draw from its own per-phone user
+			// stream (global stream names), so the schedule is identical
+			// for any shard layout of the same population.
+			for i := ss.bounds[s]; i < ss.bounds[s+1]; i++ {
+				net.scheduleLegitSend(PhoneID(i))
+			}
+		}
+		ss.winFns[s] = func() {
+			defer ss.winWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					ss.winErrs[s] = fmt.Errorf("mms: shard %d panicked at window %v: %v", s, ss.winBarrier, r)
+				}
+			}()
+			sim.RunUntil(ss.winBarrier)
+		}
 		ss.sims[s] = sim
 		ss.nets[s] = net
 	}
@@ -142,9 +221,20 @@ func (ss *ShardSet) N() int { return ss.pop.N() }
 // Window returns the exchange-barrier interval.
 func (ss *ShardSet) Window() time.Duration { return ss.window }
 
-// shardOf returns the shard owning phone id.
-func (ss *ShardSet) shardOf(id PhoneID) int {
-	return sort.Search(len(ss.nets), func(s int) bool { return ss.bounds[s+1] > int(id) })
+// ShardOf returns the index of the shard owning phone id. Hand-rolled
+// binary search over the bounds: exchange calls this once per cross-shard
+// copy, and sort.Search's predicate closure would allocate per call.
+func (ss *ShardSet) ShardOf(id PhoneID) int {
+	lo, hi := 0, len(ss.nets)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ss.bounds[mid+1] > int(id) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // SeedInfection infects the phone immediately on its owner shard.
@@ -152,13 +242,14 @@ func (ss *ShardSet) SeedInfection(id PhoneID) error {
 	if !ss.pop.valid(id) {
 		return fmt.Errorf("mms: seed phone %d out of range", id)
 	}
-	return ss.nets[ss.shardOf(id)].SeedInfection(id)
+	return ss.nets[ss.ShardOf(id)].SeedInfection(id)
 }
 
 // Run advances every shard to the horizon in lock-step windows on a worker
 // pool of the given width (GOMAXPROCS when <= 0), exchanging cross-shard
-// deliveries at each barrier. ctx is checked between windows; a panic in
-// any shard's event loop propagates as an error carrying the shard index.
+// deliveries and running barrier synchronization at each barrier. ctx is
+// checked between windows; a panic in any shard's event loop propagates as
+// an error carrying the shard index.
 func (ss *ShardSet) Run(ctx context.Context, horizon time.Duration, workers int) error {
 	if horizon <= 0 {
 		return errors.New("mms: horizon must be positive")
@@ -168,7 +259,6 @@ func (ss *ShardSet) Run(ctx context.Context, horizon time.Duration, workers int)
 	}
 	p := pool.New(workers)
 	defer p.Close()
-	errs := make([]error, len(ss.nets))
 	for t := ss.window; ; t += ss.window {
 		if t > horizon {
 			t = horizon
@@ -176,60 +266,78 @@ func (ss *ShardSet) Run(ctx context.Context, horizon time.Duration, workers int)
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("mms: sharded run cancelled at t=%v: %w", t-ss.window, err)
 		}
-		var wg sync.WaitGroup
-		wg.Add(len(ss.nets))
-		barrier := t
-		for s := range ss.nets {
-			s := s
-			p.Submit(func() {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						errs[s] = fmt.Errorf("mms: shard %d panicked at window %v: %v", s, barrier, r)
-					}
-				}()
-				ss.sims[s].RunUntil(barrier)
-			})
+		// The winBarrier write is ordered before the thunks' reads by the
+		// pool's queue lock; the thunks are pre-built so the steady-state
+		// window loop allocates nothing.
+		ss.winBarrier = t
+		ss.winWG.Add(len(ss.nets))
+		for s := range ss.winFns {
+			p.Submit(ss.winFns[s])
 		}
-		wg.Wait()
-		if err := errors.Join(errs...); err != nil {
+		ss.winWG.Wait()
+		if err := errors.Join(ss.winErrs...); err != nil {
 			return err
 		}
-		ss.exchange(barrier)
+		next := t + ss.window
+		if next > horizon {
+			next = horizon
+		}
+		ss.barrierStep(t, next)
 		if t >= horizon {
 			return nil
 		}
 	}
 }
 
+// RunWindow advances every shard to barrier serially on the calling
+// goroutine, then performs the same exchange and barrier synchronization
+// Run would: one conservative window without pool scheduling. next is the
+// following barrier (responses use it to commit work landing inside the
+// upcoming window; pass barrier again at the horizon). Benchmarks drive
+// RunWindow directly to meter the exchange hot path; trajectories are
+// identical to Run's because the window protocol is.
+func (ss *ShardSet) RunWindow(barrier, next time.Duration) {
+	for _, sim := range ss.sims {
+		sim.RunUntil(barrier)
+	}
+	ss.barrierStep(barrier, next)
+}
+
+// barrierStep is everything that happens between windows, in order: drain
+// and inject the cross-shard outboxes, then run barrier synchronization
+// (merged detection, response hooks — shardresponse.go).
+func (ss *ShardSet) barrierStep(barrier, next time.Duration) {
+	ss.exchange(barrier)
+	ss.barrierSync(barrier, next)
+}
+
 // exchange drains every shard's outbox and injects the copies into their
 // owner shards in canonical (arrival, sender, target) order. It runs on the
 // coordinating goroutine between windows, when no shard event loop is live,
-// so it may touch any shard's state.
+// so it may touch any shard's state. The merge buffer and the per-shard
+// outboxes are reused across windows and the sort runs on a stored
+// sort.Interface value, so the steady-state exchange performs zero
+// allocations (pinned by the mms/shard-exchange benchmark).
 func (ss *ShardSet) exchange(barrier time.Duration) {
-	var batch []RemoteCopy
+	b := &ss.batch
+	b.reset()
 	for s := range ss.outbox {
-		batch = append(batch, ss.outbox[s]...)
-		ss.outbox[s] = ss.outbox[s][:0]
+		o := &ss.outbox[s]
+		b.at = append(b.at, o.at...)
+		b.from = append(b.from, o.from...)
+		b.target = append(b.target, o.target...)
+		o.reset()
 	}
-	if len(batch) == 0 {
+	if len(b.at) == 0 {
 		return
 	}
 	// Stable canonical order decouples the exchange from shard indexing and
 	// scheduling: two copies with equal arrival times inject in (from,
 	// target) order no matter which shard produced them first.
-	sort.SliceStable(batch, func(i, j int) bool {
-		a, b := batch[i], batch[j]
-		if a.At != b.At {
-			return a.At < b.At
-		}
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		return a.Target < b.Target
-	})
-	for _, rc := range batch {
-		ss.nets[ss.shardOf(rc.Target)].receiveRemote(rc, barrier)
+	sort.Stable(b)
+	for i := range b.at {
+		target := PhoneID(b.target[i])
+		ss.nets[ss.ShardOf(target)].receiveRemote(b.at[i], PhoneID(b.from[i]), target, barrier)
 	}
 }
 
@@ -238,25 +346,22 @@ func (ss *ShardSet) exchange(barrier time.Duration) {
 // closed), then the standard inbox pipeline runs — read-cap elision,
 // duplicate suppression, read-delay sampling from the target's own user
 // stream — and the read event is scheduled on the owner's queue.
-func (n *Network) receiveRemote(rc RemoteCopy, barrier time.Duration) {
-	arrival := rc.At
+func (n *Network) receiveRemote(arrival time.Duration, from, target PhoneID, barrier time.Duration) {
 	if arrival < barrier {
 		arrival = barrier
 	}
-	if n.pop.received[rc.Target] >= readCap {
+	if n.pop.received[target] >= readCap {
 		return
 	}
 	if !n.cfg.AllowDuplicateTrials {
-		key := trialKey(rc.From, rc.Target, arrival)
+		key := trialKey(from, target, arrival)
 		if _, dup := n.trials[key]; dup {
 			return
 		}
 		n.trials[key] = struct{}{}
 	}
-	delay := n.cfg.ReadDelay.Sample(&n.pop.userSrc[rc.Target])
-	if _, err := n.sim.ScheduleAt(arrival+delay, func(*des.Simulation) {
-		n.read(rc.Target, rc.From)
-	}); err != nil {
+	delay := n.cfg.ReadDelay.Sample(&n.pop.userSrc[target])
+	if _, err := n.sim.ScheduleArgAt(arrival+delay, n.readH, packArg(target, from, 0)); err != nil {
 		return
 	}
 }
@@ -299,26 +404,6 @@ func (ss *ShardSet) Metrics() Metrics {
 		}
 	}
 	return sum
-}
-
-// Detected reports whether and when the virus reached the provider's
-// detection threshold, merging observations across the per-shard gateway
-// views: detection fires at the k-th earliest observed message overall.
-func (ss *ShardSet) Detected() (time.Duration, bool) {
-	threshold := 1
-	var all []time.Duration
-	for _, net := range ss.nets {
-		g := net.Gateway()
-		if g.DetectThreshold() > threshold {
-			threshold = g.DetectThreshold()
-		}
-		all = append(all, g.ObservationTimes()...)
-	}
-	if len(all) < threshold {
-		return 0, false
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return all[threshold-1], true
 }
 
 // InfectionEvents merges the per-shard infection logs into one sequence

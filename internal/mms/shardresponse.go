@@ -1,0 +1,141 @@
+package mms
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ShardResponse is a Response that also knows how to install itself across
+// a ShardSet. The sharded variant of a mechanism must preserve the
+// determinism contract: its behaviour may depend on (config, seed, shard
+// count, window) but never on worker count or scheduling. The standard
+// shapes (DESIGN.md §15):
+//
+//   - Per-shard sub-state owned by the sender's shard (monitor histories,
+//     blacklist counters, detector verdict caches) — exact partitions,
+//     since every message is filtered on its sending shard.
+//   - Globally shared scalars committed only at window barriers by the
+//     coordinator (signature activation times, merged detection, patch
+//     waves), read by shard goroutines during windows. The barrier's pool
+//     hand-off orders those writes before the next window's reads.
+type ShardResponse interface {
+	Response
+	// AttachShards installs the mechanism across all shards. src plays the
+	// role Attach's src does on the unsharded path; mechanisms needing
+	// per-shard randomness derive pinned sub-streams from it.
+	AttachShards(ss *ShardSet, src *rng.Source) error
+}
+
+// AttachResponse installs r across the shard set. Responses that have not
+// grown a sharded variant are rejected here — at configuration time, not
+// by silently degrading mid-run.
+func (ss *ShardSet) AttachResponse(r Response, src *rng.Source) error {
+	sr, ok := r.(ShardResponse)
+	if !ok {
+		return fmt.Errorf("mms: response %q does not support sharded runs", r.Name())
+	}
+	if err := sr.AttachShards(ss, src); err != nil {
+		return err
+	}
+	ss.responses = append(ss.responses, r)
+	return nil
+}
+
+// Responses returns the mechanisms installed via AttachResponse, in attach
+// order. The returned slice is shared with the shard set; callers must not
+// modify it.
+func (ss *ShardSet) Responses() []Response { return ss.responses }
+
+// OnVirusDetected registers a callback fired at the first window barrier
+// where the merged per-shard gateway observations reach the detection
+// threshold. The callback receives the true global detection time (the
+// k-th earliest observation across all shards), which lies inside the
+// window that just closed — mechanisms must therefore treat it as a
+// possibly-past instant: arm state the next window reads rather than
+// scheduling events before the barrier. Registering after detection fires
+// immediately with the recorded time.
+func (ss *ShardSet) OnVirusDetected(fn func(at time.Duration)) {
+	if fn == nil {
+		return
+	}
+	if ss.detected {
+		fn(ss.detectedAt)
+		return
+	}
+	ss.onDetected = append(ss.onDetected, fn)
+}
+
+// OnBarrier registers a coordinator-side hook run after every window's
+// exchange (and after any detection callbacks for that barrier), with the
+// barrier just reached and the next barrier. Hooks run on the coordinating
+// goroutine while no shard event loop is live, so they may touch any
+// shard's state; work committed for the upcoming window must be scheduled
+// at times in [barrier, next).
+func (ss *ShardSet) OnBarrier(fn func(barrier, next time.Duration)) {
+	if fn != nil {
+		ss.onBarrier = append(ss.onBarrier, fn)
+	}
+}
+
+// Detected reports whether and when the virus reached the gateway
+// detection threshold globally. During a run the merged state advances
+// only at barriers; after Run returns this is the exact unsharded
+// definition (k-th earliest observation overall).
+func (ss *ShardSet) Detected() (time.Duration, bool) {
+	if ss.detected {
+		return ss.detectedAt, true
+	}
+	return ss.mergeDetection()
+}
+
+// mergeDetection recovers the global detection time from the per-shard
+// observation prefixes. Each shard records the times of its first k
+// observations (k = detection threshold); since per-shard event time is
+// monotone, the union of those prefixes contains the k globally earliest
+// observations, so once the union holds at least k entries its k-th
+// smallest is the global detection time — final, because every unrecorded
+// observation is later than its shard's recorded ones. The merge buffer is
+// reused and sorted by insertion (bounded at shards x k entries, with k
+// typically in the tens), keeping barriers allocation-free steady-state.
+func (ss *ShardSet) mergeDetection() (time.Duration, bool) {
+	k := ss.nets[0].Gateway().DetectThreshold()
+	ss.detScratch = ss.detScratch[:0]
+	for _, net := range ss.nets {
+		for _, t := range net.Gateway().ObservationTimes() {
+			ss.detScratch = append(ss.detScratch, t)
+			i := len(ss.detScratch) - 1
+			for i > 0 && ss.detScratch[i-1] > t {
+				ss.detScratch[i] = ss.detScratch[i-1]
+				i--
+			}
+			ss.detScratch[i] = t
+		}
+	}
+	if len(ss.detScratch) < k {
+		return 0, false
+	}
+	return ss.detScratch[k-1], true
+}
+
+// barrierSync runs the coordinator-side response protocol at a window
+// barrier: merged detection first (so activation timers arm before any
+// same-barrier hook reads them), then the registered barrier hooks. Runs
+// with no shard event loop live. Skipped work is genuinely free: a run
+// with no responses attached performs no merge and no hook calls.
+func (ss *ShardSet) barrierSync(barrier, next time.Duration) {
+	if !ss.detected && len(ss.onDetected) > 0 {
+		if at, ok := ss.mergeDetection(); ok {
+			ss.detected = true
+			ss.detectedAt = at
+			for _, fn := range ss.onDetected {
+				fn(at)
+			}
+			ss.onDetected = nil
+		}
+	}
+	for _, fn := range ss.onBarrier {
+		fn(barrier, next)
+	}
+}

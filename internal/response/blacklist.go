@@ -2,6 +2,7 @@ package response
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -22,6 +23,12 @@ type Blacklist struct {
 
 	counts      map[mms.PhoneID]int
 	blacklisted map[mms.PhoneID]bool
+
+	// Sharded-run state: one sub-blacklist per shard counting that shard's
+	// senders (an exact partition — every send is controlled on its
+	// sender's shard), with this instance serving as the merged view.
+	set  *mms.ShardSet
+	subs []*Blacklist
 }
 
 var (
@@ -69,8 +76,36 @@ func (b *Blacklist) OnSent(p mms.PhoneID, _ time.Duration, _ int) {
 	}
 }
 
-// Blacklisted reports whether phone p has been cut off.
-func (b *Blacklist) Blacklisted(p mms.PhoneID) bool { return b.blacklisted[p] }
+// Blacklisted reports whether phone p has been cut off. On a sharded run
+// the query routes to the owner shard's sub-blacklist.
+func (b *Blacklist) Blacklisted(p mms.PhoneID) bool {
+	if b.set != nil {
+		return b.subs[b.set.ShardOf(p)].blacklisted[p]
+	}
+	return b.blacklisted[p]
+}
+
+// BlacklistedPhones returns the phones currently cut off, in ascending ID
+// order — the provider's merged blacklist. On a sharded run the per-shard
+// views concatenate in shard order, which is id order because shards own
+// contiguous ranges.
+func (b *Blacklist) BlacklistedPhones() []mms.PhoneID {
+	if b.set != nil {
+		var out []mms.PhoneID
+		for _, sub := range b.subs {
+			out = append(out, sub.BlacklistedPhones()...)
+		}
+		return out
+	}
+	out := make([]mms.PhoneID, 0, len(b.blacklisted))
+	for p, cut := range b.blacklisted {
+		if cut {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Descriptor implements mms.ResponseDescriber: blacklisting is fully
 // determined by its activation threshold.

@@ -38,6 +38,14 @@ type Detector struct {
 	active   bool
 	src      *rng.Source
 	verdicts map[uint64]bool // (sender, day) -> recognized
+
+	// Sharded-run state: activation is armed by the coordinator at the
+	// barrier where merged detection fires; per-shard sub-filters (see
+	// sharded.go) read it and keep their own verdict caches and rng
+	// streams, which partition exactly because every message is filtered
+	// on its sender's shard.
+	armed      bool
+	activateAt time.Duration
 }
 
 var (

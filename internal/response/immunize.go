@@ -26,6 +26,25 @@ type Immunizer struct {
 
 	deployStarted time.Duration
 	started       bool
+
+	// Sharded-run state: development completion is armed at the barrier
+	// where merged detection fires; the patch wave is drawn once in
+	// canonical phone order (identical offsets to an unsharded run, since
+	// vulnerability is static) and released window by window at barriers,
+	// each patch scheduled on its owner shard at its exact installation
+	// time (clamped up to the barrier when development completed
+	// mid-window). See sharded.go.
+	armed    bool
+	armAt    time.Duration
+	wave     []patchEntry
+	waveNext int
+}
+
+// patchEntry is one phone's scheduled patch installation in a sharded
+// deployment wave.
+type patchEntry struct {
+	at time.Duration
+	id mms.PhoneID
 }
 
 var _ mms.Response = (*Immunizer)(nil)

@@ -30,6 +30,13 @@ type Monitor struct {
 	history  map[mms.PhoneID][]time.Duration
 	flagged  map[mms.PhoneID]bool
 	lastSent map[mms.PhoneID]time.Duration
+
+	// Sharded-run state: one sub-monitor per shard, each observing only
+	// its shard's senders (an exact partition — every send is controlled
+	// on its sender's shard), with this instance serving as the merged
+	// reporting view.
+	set  *mms.ShardSet
+	subs []*Monitor
 }
 
 var (
@@ -68,8 +75,7 @@ func (m *Monitor) Name() string {
 	return fmt.Sprintf("monitor(window=%v,threshold=%d,wait=%v)", m.Window, m.Threshold, m.ForcedWait)
 }
 
-// Attach implements mms.Response.
-func (m *Monitor) Attach(n *mms.Network, _ *rng.Source) error {
+func (m *Monitor) validate() error {
 	if m.Window <= 0 {
 		return fmt.Errorf("response: monitor window must be positive")
 	}
@@ -79,9 +85,21 @@ func (m *Monitor) Attach(n *mms.Network, _ *rng.Source) error {
 	if m.ForcedWait <= 0 {
 		return fmt.Errorf("response: monitor forced wait must be positive")
 	}
+	return nil
+}
+
+func (m *Monitor) initState() {
 	m.history = make(map[mms.PhoneID][]time.Duration)
 	m.flagged = make(map[mms.PhoneID]bool)
 	m.lastSent = make(map[mms.PhoneID]time.Duration)
+}
+
+// Attach implements mms.Response.
+func (m *Monitor) Attach(n *mms.Network, _ *rng.Source) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	m.initState()
 	n.AddController(m)
 	return nil
 }
@@ -128,12 +146,27 @@ func (m *Monitor) OnLegitSent(p mms.PhoneID, now time.Duration) {
 	m.OnSent(p, now, 1)
 }
 
-// Flagged reports whether phone p is currently under the forced wait.
-func (m *Monitor) Flagged(p mms.PhoneID) bool { return m.flagged[p] }
+// Flagged reports whether phone p is currently under the forced wait. On a
+// sharded run the query routes to the owner shard's sub-monitor.
+func (m *Monitor) Flagged(p mms.PhoneID) bool {
+	if m.set != nil {
+		return m.subs[m.set.ShardOf(p)].flagged[p]
+	}
+	return m.flagged[p]
+}
 
 // FlaggedPhones returns the phones currently flagged, in ascending ID
 // order. Cross-reference with infection state to measure false positives.
+// On a sharded run the per-shard views concatenate in shard order, which
+// is id order because shards own contiguous ranges.
 func (m *Monitor) FlaggedPhones() []mms.PhoneID {
+	if m.set != nil {
+		var out []mms.PhoneID
+		for _, sub := range m.subs {
+			out = append(out, sub.FlaggedPhones()...)
+		}
+		return out
+	}
 	out := make([]mms.PhoneID, 0, len(m.flagged))
 	for p, f := range m.flagged {
 		if f {

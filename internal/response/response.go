@@ -39,6 +39,13 @@ type Scan struct {
 	ActivationDelay time.Duration
 
 	active bool
+
+	// Sharded-run state: the coordinator arms the activation time at the
+	// window barrier where merged detection fires, and every shard's
+	// gateway compares inspection time against it. Written only between
+	// windows, read only during windows (ordered by the barrier hand-off).
+	armed      bool
+	activateAt time.Duration
 }
 
 var (
@@ -79,9 +86,12 @@ func (s *Scan) Attach(n *mms.Network, _ *rng.Source) error {
 }
 
 // Inspect implements mms.Filter: once active, every infected message is
-// recognized by signature and dropped.
-func (s *Scan) Inspect(mms.PhoneID, int, time.Duration) mms.FilterVerdict {
-	if s.active {
+// recognized by signature and dropped. On an unsharded run activation is
+// an event (active flips at the exact activation instant); on a sharded
+// run the filter compares against the armed activation time instead, so
+// the same Scan value serves both paths.
+func (s *Scan) Inspect(_ mms.PhoneID, _ int, now time.Duration) mms.FilterVerdict {
+	if s.active || (s.armed && now >= s.activateAt) {
 		return mms.VerdictDrop
 	}
 	return mms.VerdictDeliver

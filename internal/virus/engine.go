@@ -24,6 +24,16 @@ type Engine struct {
 	base   int
 	states []senderState
 	stats  Stats
+
+	// sendH/rebootH are the payload event handlers (arg = phone id),
+	// built once at attach time so the steady-state campaign schedules
+	// without per-event closure allocations.
+	sendH   des.ArgHandler
+	rebootH des.ArgHandler
+	// scratch is the reused recipient-list buffer for selectTargets; the
+	// network consumes the slice synchronously in Send (the fault hold
+	// path copies), so one buffer per engine suffices.
+	scratch []mms.Target
 }
 
 // Stats counts engine activity for reports.
@@ -76,6 +86,8 @@ func Attach(cfg Config, net *mms.Network, src *rng.Source) (*Engine, error) {
 		// exactly the generators the unsharded engine would for its phones.
 		src.StreamInto(&e.states[i].src, 0x766972<<20|uint64(e.base+i)) // "vir" | id
 	}
+	e.sendH = func(_ *des.Simulation, arg uint64) { e.sendOnce(mms.PhoneID(arg)) }
+	e.rebootH = func(_ *des.Simulation, arg uint64) { e.onReboot(mms.PhoneID(arg)) }
 	net.OnInfection(func(id mms.PhoneID, at time.Duration) {
 		e.activate(id)
 	})
@@ -165,9 +177,7 @@ func (e *Engine) scheduleSend(id mms.PhoneID, delay time.Duration) {
 	if st.pending.Valid() {
 		e.sim.Cancel(st.pending)
 	}
-	h, err := e.sim.ScheduleAfter(delay, func(*des.Simulation) {
-		e.sendOnce(id)
-	})
+	h, err := e.sim.ScheduleArgAfter(delay, e.sendH, uint64(uint32(id)))
 	if err != nil {
 		// ScheduleAfter clamps negative delays; this is unreachable, but a
 		// failed schedule must not leave a stale handle.
@@ -190,9 +200,7 @@ func nextBoundary(now, period time.Duration) time.Duration {
 func (e *Engine) scheduleReboot(id mms.PhoneID) {
 	st := e.state(id)
 	delay := e.cfg.RebootInterval.Sample(&st.src)
-	if _, err := e.sim.ScheduleAfter(delay, func(*des.Simulation) {
-		e.onReboot(id)
-	}); err != nil {
+	if _, err := e.sim.ScheduleArgAfter(delay, e.rebootH, uint64(uint32(id))); err != nil {
 		return
 	}
 }
@@ -276,7 +284,9 @@ func (e *Engine) sendOnce(id mms.PhoneID) {
 	}
 }
 
-// selectTargets builds the recipient list for one message.
+// selectTargets builds the recipient list for one message into the
+// engine's reused scratch buffer; the returned slice is valid until the
+// next call.
 func (e *Engine) selectTargets(id mms.PhoneID, st *senderState) []mms.Target {
 	k := e.cfg.RecipientsPerMessage
 	switch e.cfg.Targeting {
@@ -288,7 +298,7 @@ func (e *Engine) selectTargets(id mms.PhoneID, st *senderState) []mms.Target {
 		if k > len(contacts) {
 			k = len(contacts)
 		}
-		targets := make([]mms.Target, 0, k)
+		targets := e.scratch[:0]
 		switch e.cfg.ContactOrder {
 		case OrderCycle:
 			for i := 0; i < k; i++ {
@@ -302,9 +312,10 @@ func (e *Engine) selectTargets(id mms.PhoneID, st *senderState) []mms.Target {
 				targets = append(targets, mms.ValidTarget(mms.PhoneID(c)))
 			}
 		}
+		e.scratch = targets
 		return targets
 	case TargetRandom:
-		targets := make([]mms.Target, 0, k)
+		targets := e.scratch[:0]
 		n := e.net.N()
 		for i := 0; i < k; i++ {
 			if !st.src.Bool(e.cfg.ValidNumberFraction) {
@@ -318,6 +329,7 @@ func (e *Engine) selectTargets(id mms.PhoneID, st *senderState) []mms.Target {
 			}
 			targets = append(targets, mms.ValidTarget(mms.PhoneID(v)))
 		}
+		e.scratch = targets
 		return targets
 	default:
 		return nil
